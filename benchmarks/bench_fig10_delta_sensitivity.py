@@ -1,0 +1,66 @@
+"""Figure 10: sensitivity of the thief scheduler to the allocation quantum Δ.
+
+Finer quanta (Δ = 0.1 of a GPU) give higher accuracy than coarse whole-GPU
+steps (Δ = 1.0) at the cost of a longer scheduler runtime, which must remain
+a tiny fraction of the 200 s retraining window.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.simulation import delta_sensitivity
+
+DELTAS = (1.0, 0.5, 0.2, 0.1)
+NUM_STREAMS = 10
+NUM_GPUS = 4
+NUM_WINDOWS = 4
+WINDOW_SECONDS = 200.0
+SEED = 0
+
+
+def _run():
+    return delta_sensitivity(
+        DELTAS,
+        dataset="cityscapes",
+        num_streams=NUM_STREAMS,
+        num_gpus=NUM_GPUS,
+        num_windows=NUM_WINDOWS,
+        seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="fig10")
+def test_fig10_delta_sensitivity(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [
+            delta,
+            f"{table[delta]['accuracy']:.3f}",
+            f"{table[delta]['scheduler_runtime_seconds'] * 1000:.1f} ms",
+            f"{table[delta]['scheduler_runtime_seconds'] / WINDOW_SECONDS * 100:.3f} %",
+        ]
+        for delta in DELTAS
+    ]
+    print_table(
+        "Figure 10: thief-scheduler quantum Δ vs accuracy and runtime",
+        rows,
+        header=["delta", "accuracy", "runtime/window", "fraction of window"],
+    )
+
+    # Finer quanta are at least as accurate as the coarsest one, and the best
+    # fine-grained setting improves on whole-GPU allocation.
+    coarse = table[max(DELTAS)]["accuracy"]
+    fine = table[min(DELTAS)]["accuracy"]
+    assert fine >= coarse - 0.01
+    assert max(table[d]["accuracy"] for d in DELTAS) >= coarse
+
+    # Runtime grows as Δ shrinks but stays a small fraction of the window
+    # (paper: 9.5 s of a 200 s window, i.e. < 5 %).
+    assert table[min(DELTAS)]["scheduler_runtime_seconds"] >= table[max(DELTAS)][
+        "scheduler_runtime_seconds"
+    ] * 0.5
+    for delta in DELTAS:
+        assert table[delta]["scheduler_runtime_seconds"] < 0.05 * WINDOW_SECONDS

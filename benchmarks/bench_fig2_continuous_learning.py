@@ -1,0 +1,90 @@
+"""Figure 2: class-distribution drift and the benefit of continuous learning.
+
+Figure 2a plots how the class mix of one Cityscapes stream changes across ten
+retraining windows; Figure 2b compares the inference accuracy of (1) a model
+continuously retrained on the most recent data, (2) a model trained once on
+the first five windows, and (3) a model trained on other streams ("other
+cities").  The continuously retrained model should win, by up to ~22 %.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from conftest import print_table
+from repro.configs import RetrainingConfig
+from repro.datasets import make_stream
+from repro.models import EdgeModelSpec, ExemplarReplayLearner, Trainer, create_edge_model
+
+WINDOWS = 10
+EVAL_WINDOWS = range(5, 10)
+CONFIG = RetrainingConfig(epochs=15)
+
+
+def _stream(index: int = 0, seed: int = 17):
+    return make_stream(
+        "cityscapes", index, seed=seed, samples_per_window=200, eval_samples_per_window=120
+    )
+
+
+def _run_figure2():
+    stream = _stream(0)
+    other_city = _stream(1)
+    spec = EdgeModelSpec(feature_dim=stream.feature_dim, num_classes=stream.taxonomy.num_classes)
+    trainer = Trainer(seed=17)
+
+    # (1) Continuous retraining on the most recent window.
+    continual_model = create_edge_model(spec, seed=17)
+    trainer.train(continual_model, stream.window(0), CONFIG)
+    learner = ExemplarReplayLearner(continual_model, seed=17)
+
+    # (2) Trained once on the first five windows of this stream.
+    train_once = create_edge_model(spec, seed=17)
+    for window_index in range(5):
+        trainer.train(train_once, stream.window(window_index), CONFIG)
+
+    # (3) Trained on a different stream ("other cities").
+    other_model = create_edge_model(spec, seed=17)
+    for window_index in range(5):
+        trainer.train(other_model, other_city.window(window_index), CONFIG)
+
+    class_distributions = {w: stream.class_distribution(w) for w in range(WINDOWS)}
+    accuracy = {"continuous": [], "train_once": [], "other_cities": []}
+    for window_index in EVAL_WINDOWS:
+        window = stream.window(window_index)
+        learner.retrain(window, CONFIG)
+        accuracy["continuous"].append(learner.evaluate(window))
+        accuracy["train_once"].append(trainer.evaluate(train_once, window))
+        accuracy["other_cities"].append(trainer.evaluate(other_model, window))
+    return class_distributions, accuracy
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_continuous_learning_benefit(benchmark):
+    class_distributions, accuracy = benchmark.pedantic(_run_figure2, rounds=1, iterations=1)
+
+    print_table(
+        "Figure 2a: class distribution per retraining window",
+        [
+            [w] + [f"{p:.2f}" for p in dist]
+            for w, dist in sorted(class_distributions.items())
+        ],
+        header=["window", "bicycle", "bus", "car", "motorcycle", "person", "truck"],
+    )
+    print_table(
+        "Figure 2b: inference accuracy on windows 6-10",
+        [
+            [name] + [f"{a:.3f}" for a in values] + [f"mean={np.mean(values):.3f}"]
+            for name, values in accuracy.items()
+        ],
+    )
+
+    continuous = float(np.mean(accuracy["continuous"]))
+    train_once = float(np.mean(accuracy["train_once"]))
+    other = float(np.mean(accuracy["other_cities"]))
+    # Shape checks from the paper: continuous >= train-once >= other-cities.
+    assert continuous > train_once
+    assert train_once >= other - 0.05
+    # The continuous-learning gain is sizable (paper: up to 22 %).
+    assert continuous - other > 0.05

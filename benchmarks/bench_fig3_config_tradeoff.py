@@ -1,0 +1,83 @@
+"""Figure 3: resource-accuracy tradeoff of retraining configurations.
+
+Figure 3a varies two hyperparameters (fraction of data, fraction of layers
+retrained) and shows both affect accuracy and GPU-seconds; Figure 3b plots
+the full configuration grid and its Pareto boundary, highlighting (i) a wide
+(~100x+) spread in GPU cost and (ii) that higher cost does not always mean
+higher accuracy.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.configs import default_retraining_grid
+from repro.datasets import make_stream
+from repro.models import EdgeModelSpec, Trainer, create_edge_model
+from repro.utils.math_utils import pareto_frontier
+
+
+def _profile_grid():
+    stream = make_stream(
+        "cityscapes", 0, seed=23, samples_per_window=250, eval_samples_per_window=150
+    )
+    spec = EdgeModelSpec(feature_dim=stream.feature_dim, num_classes=stream.taxonomy.num_classes)
+    trainer = Trainer(seed=23)
+    window = stream.window(1)
+
+    grid = default_retraining_grid(
+        epochs=(5, 15, 30),
+        layers_trained=(0.1, 0.5, 1.0),
+        data_fractions=(0.2, 0.5, 1.0),
+    )
+    points = []
+    for config in grid:
+        model = create_edge_model(spec, config=config, seed=23)
+        trainer.train(model, stream.window(0), config.with_epochs(10))
+        result = trainer.train(model, window, config)
+        accuracy = trainer.evaluate(model, window)
+        points.append((config, result.gpu_seconds, accuracy))
+    return points
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_resource_accuracy_tradeoff(benchmark):
+    points = benchmark.pedantic(_profile_grid, rounds=1, iterations=1)
+
+    rows = [
+        [
+            f"epochs={cfg.epochs}",
+            f"layers={cfg.layers_trained_fraction}",
+            f"data={cfg.data_fraction}",
+            f"{gpu_seconds:.1f}",
+            f"{accuracy:.3f}",
+        ]
+        for cfg, gpu_seconds, accuracy in points
+    ]
+    print_table(
+        "Figure 3b: GPU-seconds vs accuracy per retraining configuration",
+        rows,
+        header=["epochs", "layers", "data", "gpu_seconds", "accuracy"],
+    )
+
+    costs = [gpu_seconds for _, gpu_seconds, _ in points]
+    accuracies = [accuracy for _, _, accuracy in points]
+
+    # Wide spread in resource usage (paper: up to 200x; we require >= 10x).
+    assert max(costs) / min(costs) > 10
+
+    # Higher resource usage does not always give higher accuracy: the most
+    # expensive configuration must not dominate everything.
+    frontier = pareto_frontier([(c, a) for c, a in zip(costs, accuracies)])
+    assert 0 < len(frontier) < len(points)
+
+    # There exist two configurations with similar accuracy but very different
+    # cost (the circled pair of Figure 3b).
+    similar_pairs = [
+        (ci, cj)
+        for i, (ci, ai) in enumerate(zip(costs, accuracies))
+        for j, (cj, aj) in enumerate(zip(costs, accuracies))
+        if i != j and abs(ai - aj) < 0.03 and ci > 3 * cj
+    ]
+    assert similar_pairs

@@ -1,0 +1,76 @@
+"""Figure 7: accuracy vs provisioned GPUs for 10 concurrent streams.
+
+One panel per dataset (Cityscapes, Waymo, Urban Building, Urban Traffic).
+Ekya should consistently beat the best uniform baseline, and the baseline
+should need several times more GPUs to match Ekya's accuracy (paper headline:
+4x more).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.simulation import accuracy_vs_gpus, gpus_needed_for_accuracy
+
+POLICIES = ["ekya", "uniform_c1_50", "uniform_c2_30", "uniform_c2_50", "uniform_c2_90"]
+GPU_COUNTS = (1, 2, 4, 6, 8)
+NUM_STREAMS = 10
+NUM_WINDOWS = 6
+SEED = 0
+DATASETS = ("cityscapes", "waymo", "urban_building", "urban_traffic")
+
+
+def _run(dataset: str):
+    return accuracy_vs_gpus(
+        POLICIES,
+        GPU_COUNTS,
+        dataset=dataset,
+        num_streams=NUM_STREAMS,
+        num_windows=NUM_WINDOWS,
+        seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_fig7_accuracy_vs_gpus(benchmark, dataset):
+    table = benchmark.pedantic(_run, args=(dataset,), rounds=1, iterations=1)
+
+    rows = [
+        [name] + [f"{table[name][gpus]:.3f}" for gpus in GPU_COUNTS]
+        for name in sorted(table)
+    ]
+    print_table(
+        f"Figure 7 ({dataset}): accuracy vs provisioned GPUs, {NUM_STREAMS} streams",
+        rows,
+        header=["policy"] + [f"{g} GPU" for g in GPU_COUNTS],
+    )
+
+    ekya = table["Ekya"]
+    baselines = {name: row for name, row in table.items() if name != "Ekya"}
+
+    # Ekya beats the best baseline at every provisioning level (small slack
+    # for ties: at the starved and resource-rich extremes the paper's gap also
+    # narrows, and the low-drift static-camera datasets leave less headroom).
+    for gpus in GPU_COUNTS:
+        best_baseline = max(row[gpus] for row in baselines.values())
+        assert ekya[gpus] >= best_baseline - 0.025
+    # And it wins outright at a majority of provisioning levels.
+    wins = sum(
+        1 for gpus in GPU_COUNTS if ekya[gpus] >= max(row[gpus] for row in baselines.values())
+    )
+    assert wins >= len(GPU_COUNTS) // 2 + 1
+
+    # More GPUs never hurt Ekya.
+    values = [ekya[gpus] for gpus in GPU_COUNTS]
+    assert all(b >= a - 0.02 for a, b in zip(values, values[1:]))
+
+    # Resource-saving headline: the best baseline needs strictly more GPUs
+    # than Ekya to reach Ekya's accuracy at a mid provisioning point.
+    target = ekya[2]
+    best_baseline_curve = {
+        gpus: max(row[gpus] for row in baselines.values()) for gpus in GPU_COUNTS
+    }
+    needed = gpus_needed_for_accuracy(best_baseline_curve, target)
+    assert needed is None or needed > 2

@@ -1,0 +1,64 @@
+"""Figure 8: factor analysis of Ekya's two mechanisms.
+
+Removing the adaptive resource allocation (Ekya-FixedRes) or the
+micro-profiling-based configuration selection (Ekya-FixedConfig) should each
+cost accuracy relative to full Ekya, especially when the system is
+resource-stressed (few provisioned GPUs for 10 streams).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.simulation import accuracy_vs_gpus
+
+POLICIES = ["ekya", "ekya_fixedres", "ekya_fixedconfig", "uniform_c2_50"]
+GPU_COUNTS = (2, 4, 6, 8)
+NUM_STREAMS = 10
+NUM_WINDOWS = 6
+SEED = 0
+
+
+def _run():
+    return accuracy_vs_gpus(
+        POLICIES,
+        GPU_COUNTS,
+        dataset="cityscapes",
+        num_streams=NUM_STREAMS,
+        num_windows=NUM_WINDOWS,
+        seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="fig8")
+def test_fig8_factor_analysis(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        [name] + [f"{table[name][gpus]:.3f}" for gpus in GPU_COUNTS]
+        for name in sorted(table)
+    ]
+    print_table(
+        "Figure 8: factor analysis (10 streams)",
+        rows,
+        header=["policy"] + [f"{g} GPU" for g in GPU_COUNTS],
+    )
+
+    ekya = table["Ekya"]
+    fixed_res = table["Ekya-FixedRes"]
+    fixed_config = table["Ekya-FixedConfig"]
+    uniform = table["uniform (Config2, 50%)"]
+
+    # Full Ekya is at least as good as both ablations everywhere (small slack
+    # for simulator noise), and both ablations are at least as good as the
+    # uniform baseline they share a mechanism with.
+    for gpus in GPU_COUNTS:
+        assert ekya[gpus] >= fixed_res[gpus] - 0.02
+        assert ekya[gpus] >= fixed_config[gpus] - 0.02
+        assert max(fixed_res[gpus], fixed_config[gpus]) >= uniform[gpus] - 0.02
+
+    # Under stress (fewest GPUs) at least one ablation loses noticeably,
+    # i.e. both mechanisms contribute.
+    stressed = GPU_COUNTS[0]
+    assert ekya[stressed] - min(fixed_res[stressed], fixed_config[stressed]) > 0.01

@@ -1,0 +1,75 @@
+"""§6.5 (cached models): reusing pre-trained models vs Ekya's retraining.
+
+A cache of models pre-trained on earlier windows is reused by picking, per
+window, the model whose training class distribution is closest to the current
+window's.  The paper measures 0.72 average accuracy for this baseline versus
+0.78 for Ekya (10 streams, 8 GPUs): class-mix similarity does not imply
+appearance similarity, so cached models underperform fresh retraining.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.cluster import EdgeServerSpec
+from repro.core import evaluate_cached_reuse
+from repro.datasets import make_workload
+from repro.profiles import AnalyticDynamics
+from repro.simulation import run_experiment
+
+NUM_STREAMS = 10
+NUM_GPUS = 8
+NUM_WINDOWS = 8
+CACHE_WINDOWS = tuple(range(4))
+EVAL_WINDOWS = tuple(range(4, NUM_WINDOWS))
+SEED = 0
+
+
+def _run():
+    ekya = run_experiment(
+        "ekya",
+        dataset="cityscapes",
+        num_streams=NUM_STREAMS,
+        num_gpus=NUM_GPUS,
+        num_windows=NUM_WINDOWS,
+        seed=SEED,
+    )
+    streams = make_workload("cityscapes", NUM_STREAMS, seed=SEED)
+    spec = EdgeServerSpec(num_gpus=NUM_GPUS, window_duration=200.0)
+    cached = evaluate_cached_reuse(
+        streams,
+        AnalyticDynamics(seed=SEED),
+        spec,
+        eval_windows=list(EVAL_WINDOWS),
+        cache_windows=list(CACHE_WINDOWS),
+    )
+    # Ekya's accuracy over the same evaluation windows for a fair comparison.
+    ekya_eval_windows = [w for w in ekya.windows if w.window_index in EVAL_WINDOWS]
+    ekya_accuracy = sum(w.mean_accuracy for w in ekya_eval_windows) / len(ekya_eval_windows)
+    return ekya_accuracy, cached
+
+
+@pytest.mark.benchmark(group="cached-reuse")
+def test_cached_model_reuse_vs_ekya(benchmark):
+    ekya_accuracy, cached = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = [
+        ["cached-model reuse", f"{cached.mean_accuracy:.3f}"],
+        ["Ekya (continuous retraining)", f"{ekya_accuracy:.3f}"],
+    ]
+    print_table(
+        "§6.5: cached-model reuse vs Ekya (paper: 0.72 vs 0.78)",
+        rows,
+        header=["approach", "mean accuracy"],
+    )
+    per_window_rows = [
+        [window, f"{accuracy:.3f}"]
+        for window, accuracy in zip(EVAL_WINDOWS, cached.per_window_accuracy)
+    ]
+    print_table("cached-model reuse per evaluation window", per_window_rows, header=["window", "accuracy"])
+
+    # Shape: Ekya's continuous retraining beats the cached-model reuse.
+    assert ekya_accuracy > cached.mean_accuracy
+    # The gap is meaningful but reuse is not catastrophic (paper: 6 points).
+    assert 0.0 < ekya_accuracy - cached.mean_accuracy < 0.35

@@ -1,0 +1,80 @@
+"""Table 3: capacity (streams supported at accuracy >= 0.75) vs provisioned GPUs.
+
+The paper derives, from the Figure 6 curves, how many concurrent streams each
+scheduler can support subject to an accuracy target of 0.75, at 1 and 2
+provisioned GPUs, and reports the scaling factor (Ekya: 2 -> 8 streams, 4x;
+uniform variants: 1x-2x).  We reproduce the same derivation; the capacity
+threshold is configurable because absolute accuracies differ on the synthetic
+substrate.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.simulation import capacity_table
+
+POLICIES = ["ekya", "uniform_c1_50", "uniform_c2_30", "uniform_c2_50", "uniform_c2_90"]
+STREAM_COUNTS = (2, 4, 6, 8)
+GPU_COUNTS = (1, 2)
+#: Accuracy target for "supported".  The paper uses 0.75 on its testbed; the
+#: synthetic substrate's absolute accuracies are a little lower, so the target
+#: is set to keep the derivation meaningful (capacities neither all-zero nor
+#: all-maximal).
+THRESHOLD = 0.62
+NUM_WINDOWS = 6
+SEED = 0
+
+
+def _run():
+    return capacity_table(
+        POLICIES,
+        gpu_counts=GPU_COUNTS,
+        stream_counts=STREAM_COUNTS,
+        dataset="cityscapes",
+        threshold=THRESHOLD,
+        num_windows=NUM_WINDOWS,
+        seed=SEED,
+    )
+
+
+@pytest.mark.benchmark(group="table3")
+def test_table3_capacity_scaling(benchmark):
+    table = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    rows = []
+    for name, entry in sorted(table.items()):
+        capacities = entry["capacity_by_gpus"]
+        factor = entry["scaling_factor"]
+        rows.append(
+            [
+                name,
+                capacities[GPU_COUNTS[0]],
+                capacities[GPU_COUNTS[-1]],
+                "-" if factor is None else f"{factor:.1f}x",
+            ]
+        )
+    print_table(
+        f"Table 3: capacity at accuracy >= {THRESHOLD} vs provisioned GPUs",
+        rows,
+        header=["scheduler", f"{GPU_COUNTS[0]} GPU", f"{GPU_COUNTS[-1]} GPUs", "scaling"],
+    )
+
+    ekya = table["Ekya"]
+    baselines = {k: v for k, v in table.items() if k != "Ekya"}
+
+    # Ekya's capacity at every GPU count is at least as large as any baseline's.
+    for gpus in GPU_COUNTS:
+        best_baseline = max(entry["capacity_by_gpus"][gpus] for entry in baselines.values())
+        assert ekya["capacity_by_gpus"][gpus] >= best_baseline
+
+    # Ekya scales at least as fast as the best baseline when GPUs are added —
+    # unless its capacity already saturates the tested stream counts at the
+    # smallest provisioning (in which case the factor is not informative).
+    ekya_saturated = ekya["capacity_by_gpus"][GPU_COUNTS[0]] >= max(STREAM_COUNTS)
+    baseline_factors = [
+        entry["scaling_factor"] for entry in baselines.values() if entry["scaling_factor"]
+    ]
+    if not ekya_saturated and ekya["scaling_factor"] is not None and baseline_factors:
+        assert ekya["scaling_factor"] >= max(baseline_factors) - 1e-9

@@ -1,0 +1,100 @@
+"""Table 4: cloud-offloaded retraining over constrained WAN links vs Ekya.
+
+Eight streams, four edge GPUs, 400 s retraining windows.  Uploading the
+sampled training data and downloading the retrained models over cellular or
+satellite links delays every model update, so the cloud alternative ends up
+with lower accuracy than Ekya despite free (and assumed instantaneous) cloud
+compute — and matching Ekya would require several times more uplink/downlink
+bandwidth.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from repro.cluster import STANDARD_LINKS
+from repro.configs import ConfigurationSpace
+from repro.core import CloudRetrainingPolicy, OracleProfileSource
+from repro.profiles import AnalyticDynamics
+from repro.simulation import compare_policies
+
+NUM_STREAMS = 8
+NUM_GPUS = 4
+NUM_WINDOWS = 5
+WINDOW_SECONDS = 400.0
+SEED = 0
+CLOUD_POLICIES = {
+    "cloud_cellular": "Cellular",
+    "cloud_satellite": "Satellite",
+    "cloud_cellular_2x": "Cellular (2x)",
+}
+
+
+def _run():
+    results = compare_policies(
+        ["ekya", *CLOUD_POLICIES.keys()],
+        dataset="cityscapes",
+        num_streams=NUM_STREAMS,
+        num_gpus=NUM_GPUS,
+        num_windows=NUM_WINDOWS,
+        window_duration=WINDOW_SECONDS,
+        seed=SEED,
+    )
+    # Bandwidth multiples needed for the cloud transfers to finish within a
+    # quarter of the window (roughly what it takes to match Ekya's accuracy).
+    multiples = {}
+    for link_name, link in STANDARD_LINKS.items():
+        policy = CloudRetrainingPolicy(
+            OracleProfileSource(AnalyticDynamics(seed=SEED)),
+            link,
+            ConfigurationSpace.small(),
+        )
+        multiples[link_name] = policy.bandwidth_multiple_to_finish_in(
+            WINDOW_SECONDS / 4.0, num_streams=NUM_STREAMS, window_seconds=WINDOW_SECONDS
+        )
+    return results, multiples
+
+
+@pytest.mark.benchmark(group="table4")
+def test_table4_cloud_vs_ekya(benchmark):
+    results, multiples = benchmark.pedantic(_run, rounds=1, iterations=1)
+
+    ekya_accuracy = results["Ekya"].mean_accuracy
+    rows = []
+    for policy_name, link_name in CLOUD_POLICIES.items():
+        label = f"cloud ({link_name})"
+        accuracy = results[label].mean_accuracy
+        extra = multiples[link_name]
+        rows.append(
+            [
+                link_name,
+                f"{accuracy:.3f}",
+                f"{extra['uplink_multiple']:.1f}x",
+                f"{extra['downlink_multiple']:.1f}x",
+            ]
+        )
+    rows.append(["Ekya (edge)", f"{ekya_accuracy:.3f}", "-", "-"])
+    print_table(
+        "Table 4: cloud retraining vs Ekya (8 streams, 4 GPUs, 400 s windows)",
+        rows,
+        header=["link", "accuracy", "uplink needed", "downlink needed"],
+    )
+
+    # Ekya beats the single-subscription cellular and satellite alternatives
+    # without using any WAN bandwidth.  The doubled-cellular link can come
+    # close (our cloud model conservatively assumes *free and instantaneous*
+    # cloud retraining, as the paper does), but must not beat Ekya by more
+    # than a whisker.
+    assert ekya_accuracy > results["cloud (Cellular)"].mean_accuracy
+    assert ekya_accuracy > results["cloud (Satellite)"].mean_accuracy
+    assert results["cloud (Cellular (2x))"].mean_accuracy - ekya_accuracy < 0.03
+
+    # A faster link (2x cellular) is at least as good as the single link.
+    assert (
+        results["cloud (Cellular (2x))"].mean_accuracy
+        >= results["cloud (Cellular)"].mean_accuracy - 1e-9
+    )
+
+    # Matching Ekya requires a multiple of the cellular uplink capacity.
+    assert multiples["Cellular"]["uplink_multiple"] > 2.0

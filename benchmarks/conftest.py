@@ -1,0 +1,26 @@
+"""Shared configuration for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper's evaluation (see DESIGN.md for the experiment index).  The benchmarks
+use small-but-representative workload sizes so the whole suite runs in a few
+minutes on a laptop; the printed rows/series are what EXPERIMENTS.md records
+against the paper's reported numbers.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+
+def print_table(title: str, rows: list, header: list | None = None) -> None:
+    """Pretty-print a benchmark's reproduced table to stdout."""
+    print(f"\n=== {title} ===")
+    if header:
+        print(" | ".join(str(h) for h in header))
+    for row in rows:
+        print(" | ".join(str(col) for col in row))

@@ -1,0 +1,77 @@
+"""Should you retrain at the edge or in the cloud?
+
+Reproduces the §6.5 / Table 4 analysis for a deployment you can parameterise:
+a fleet of cameras behind a constrained WAN link (4G cellular or satellite).
+For each link it reports when the retrained models would actually arrive back
+at the edge, the resulting accuracy, and how much more bandwidth would be
+needed for the cloud approach to match Ekya — alongside the privacy note that
+the cloud path ships video off-site at all.
+
+Run with:  python examples/cloud_vs_edge.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import STANDARD_LINKS
+from repro.configs import ConfigurationSpace
+from repro.core import CloudRetrainingPolicy, OracleProfileSource
+from repro.profiles import AnalyticDynamics
+from repro.simulation import compare_policies
+
+NUM_STREAMS = 8
+NUM_GPUS = 4
+NUM_WINDOWS = 5
+WINDOW_SECONDS = 400.0
+SEED = 0
+
+
+def main() -> None:
+    results = compare_policies(
+        ["ekya", "cloud_cellular", "cloud_satellite", "cloud_cellular_2x"],
+        dataset="cityscapes",
+        num_streams=NUM_STREAMS,
+        num_gpus=NUM_GPUS,
+        num_windows=NUM_WINDOWS,
+        window_duration=WINDOW_SECONDS,
+        seed=SEED,
+    )
+    ekya_accuracy = results["Ekya"].mean_accuracy
+
+    print(
+        f"{NUM_STREAMS} cameras, {NUM_GPUS} edge GPUs, {WINDOW_SECONDS:.0f} s retraining windows\n"
+    )
+    print(f"Ekya (all retraining stays on the edge): accuracy {ekya_accuracy:.3f}\n")
+
+    space = ConfigurationSpace.small()
+    for link_name, link in STANDARD_LINKS.items():
+        label = f"cloud ({link_name})"
+        accuracy = results[label].mean_accuracy
+        policy = CloudRetrainingPolicy(
+            OracleProfileSource(AnalyticDynamics(seed=SEED)), link, space
+        )
+        arrivals = policy.model_arrival_times(NUM_STREAMS, WINDOW_SECONDS)
+        in_time = sum(1 for arrival in arrivals if arrival <= WINDOW_SECONDS)
+        extra = policy.bandwidth_multiple_to_finish_in(
+            WINDOW_SECONDS / 4.0, num_streams=NUM_STREAMS, window_seconds=WINDOW_SECONDS
+        )
+        print(f"{label}:")
+        print(f"  uplink {link.uplink_mbps} Mbps / downlink {link.downlink_mbps} Mbps")
+        print(
+            f"  first/last model arrives after {arrivals[0]:.0f} s / {arrivals[-1]:.0f} s; "
+            f"{in_time}/{NUM_STREAMS} models arrive within the window"
+        )
+        print(f"  accuracy {accuracy:.3f} ({accuracy - ekya_accuracy:+.3f} vs Ekya)")
+        print(
+            "  to match Ekya it would need roughly "
+            f"{extra['uplink_multiple']:.1f}x the uplink and "
+            f"{extra['downlink_multiple']:.1f}x the downlink\n"
+        )
+
+    print(
+        "Beyond accuracy and bandwidth, the cloud path uploads raw video frames"
+        " off-site, which many deployments (e.g. EU traffic cameras) cannot do."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Dashcam data drift on the real training substrate (testbed mode).
+
+This example runs the *full* Ekya pipeline end-to-end on the numpy edge-DNN
+substrate rather than the trace-driven simulator: it generates a drifting
+Waymo-like dashcam stream, shows how a train-once compressed model loses
+accuracy window after window, then lets Ekya's micro-profiler estimate the
+retraining configurations and the continual learner recover the accuracy with
+exemplar replay.
+
+It mirrors the motivation of Figure 2 in the paper: continuous retraining is
+what keeps a compressed edge model usable under drift.
+
+Run with:  python examples/dashcam_drift.py
+"""
+
+from __future__ import annotations
+
+from repro.configs import RetrainingConfig, default_retraining_grid
+from repro.core import MicroProfiler, MicroProfilerSettings
+from repro.datasets import make_stream
+from repro.models import EdgeModelSpec, ExemplarReplayLearner, Trainer, create_edge_model
+
+NUM_WINDOWS = 8
+SEED = 11
+
+
+def main() -> None:
+    stream = make_stream(
+        "waymo", 0, seed=SEED, samples_per_window=250, eval_samples_per_window=150
+    )
+    spec = EdgeModelSpec(
+        feature_dim=stream.feature_dim, num_classes=stream.taxonomy.num_classes
+    )
+    trainer = Trainer(seed=SEED)
+    base_config = RetrainingConfig(epochs=15)
+
+    # A compressed model trained once on the first window (deployment time).
+    static_model = create_edge_model(spec, seed=SEED)
+    trainer.train(static_model, stream.window(0), base_config)
+
+    # The continuously retrained copy managed by Ekya.
+    continual_model = static_model.clone()
+    learner = ExemplarReplayLearner(continual_model, seed=SEED)
+
+    profiler = MicroProfiler(
+        MicroProfilerSettings(data_fraction=0.2, profiling_epochs=5), seed=SEED
+    )
+    candidate_configs = default_retraining_grid(
+        epochs=(5, 15, 30), layers_trained=(0.5, 1.0), data_fractions=(0.5, 1.0)
+    )
+
+    print("window  drift   static-model  continual-model  chosen config (epochs/data/layers)")
+    for window_index in range(1, NUM_WINDOWS):
+        window = stream.window(window_index)
+        drift = stream.drift_magnitude(0, window_index)
+        static_accuracy = trainer.evaluate(static_model, window)
+
+        # Micro-profile the candidate configurations on this window and pick
+        # the cheapest one within 2 points of the best estimate.
+        profile = profiler.profile_window(learner.model, window, candidate_configs)
+        best = max(est.post_retraining_accuracy for est in profile.estimates.values())
+        affordable = [
+            est
+            for est in profile.estimates.values()
+            if est.post_retraining_accuracy >= best - 0.02
+        ]
+        chosen = min(affordable, key=lambda est: est.gpu_seconds).config
+
+        learner.retrain(window, chosen)
+        continual_accuracy = learner.evaluate(window)
+        print(
+            f"{window_index:>6}  {drift:5.2f}   {static_accuracy:12.3f}  "
+            f"{continual_accuracy:15.3f}  "
+            f"{chosen.epochs}/{chosen.data_fraction}/{chosen.layers_trained_fraction}"
+        )
+
+    print(
+        "\nThe static model degrades as the dashcam content drifts; the"
+        " continuously retrained model tracks it."
+    )
+
+
+if __name__ == "__main__":
+    main()

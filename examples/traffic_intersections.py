@@ -1,0 +1,89 @@
+"""City-scale scenario: many traffic/building cameras on one edge box.
+
+An edge server at a city depot serves a mix of static building cameras and
+traffic-intersection cameras (the paper's "Urban Building" / "Urban Traffic"
+24-hour workloads).  This example sweeps the number of provisioned GPUs and
+reports, for Ekya and the strongest uniform baseline:
+
+* the inference accuracy averaged over retraining windows,
+* the per-stream retraining activity (which cameras Ekya chose to retrain),
+* the capacity — how many cameras can be served at an accuracy target — and
+  the GPU multiple the baseline would need to match Ekya.
+
+Run with:  python examples/traffic_intersections.py
+"""
+
+from __future__ import annotations
+
+from repro.cluster import EdgeServer, EdgeServerSpec
+from repro.core import EkyaPolicy, OracleProfileSource, UniformPolicy
+from repro.datasets import mixed_workload
+from repro.profiles import AnalyticDynamics
+from repro.simulation import (
+    Simulator,
+    gpus_needed_for_accuracy,
+    make_config_space,
+)
+
+STREAMS_PER_KIND = 4  # 4 building cameras + 4 traffic cameras
+NUM_WINDOWS = 6
+GPU_COUNTS = (1, 2, 4)
+SEED = 7
+
+
+def run_policy(policy_name: str, num_gpus: int):
+    streams = mixed_workload(["urban_building", "urban_traffic"], STREAMS_PER_KIND, seed=SEED)
+    spec = EdgeServerSpec(num_gpus=num_gpus, delta=0.1, window_duration=200.0)
+    server = EdgeServer(spec, streams)
+    dynamics = AnalyticDynamics(seed=SEED)
+    source = OracleProfileSource(dynamics, accuracy_error_std=0.05, seed=SEED)
+    space = make_config_space()
+    if policy_name == "ekya":
+        policy = EkyaPolicy(source, space, steal_quantum=spec.delta, name="Ekya")
+    else:
+        policy = UniformPolicy(source, space, inference_share=0.5)
+    simulator = Simulator(server, dynamics, policy)
+    return simulator.run(NUM_WINDOWS)
+
+
+def main() -> None:
+    accuracy_by_gpus = {"ekya": {}, "uniform": {}}
+    for num_gpus in GPU_COUNTS:
+        for policy_name in ("ekya", "uniform"):
+            result = run_policy(policy_name, num_gpus)
+            accuracy_by_gpus[policy_name][num_gpus] = result.mean_accuracy
+            if policy_name == "ekya" and num_gpus == GPU_COUNTS[-1]:
+                ekya_detail = result
+
+    print("Accuracy vs provisioned GPUs (8 mixed urban cameras):")
+    print(f"{'GPUs':>6} {'Ekya':>8} {'Uniform (C2, 50%)':>20}")
+    for num_gpus in GPU_COUNTS:
+        print(
+            f"{num_gpus:>6} {accuracy_by_gpus['ekya'][num_gpus]:>8.3f} "
+            f"{accuracy_by_gpus['uniform'][num_gpus]:>20.3f}"
+        )
+
+    target = accuracy_by_gpus["ekya"][GPU_COUNTS[0]]
+    needed = gpus_needed_for_accuracy(accuracy_by_gpus["uniform"], target)
+    if needed is None:
+        print(
+            f"\nThe uniform baseline cannot match Ekya's {GPU_COUNTS[0]}-GPU accuracy "
+            f"({target:.3f}) even with {GPU_COUNTS[-1]} GPUs."
+        )
+    else:
+        print(
+            f"\nTo match Ekya's {GPU_COUNTS[0]}-GPU accuracy ({target:.3f}) the uniform "
+            f"baseline needs {needed} GPUs ({needed / GPU_COUNTS[0]:.0f}x more)."
+        )
+
+    print(f"\nPer-camera view at {GPU_COUNTS[-1]} GPUs under Ekya:")
+    print(f"{'camera':<22} {'mean accuracy':>14} {'windows retrained':>18}")
+    for name, accuracy in sorted(ekya_detail.per_stream_accuracy.items()):
+        retrained = sum(
+            1 for row in ekya_detail.allocation_timeline(name) if row["retrained"]
+        )
+        print(f"{name:<22} {accuracy:>14.3f} {retrained:>18d}")
+
+
+if __name__ == "__main__":
+    main()

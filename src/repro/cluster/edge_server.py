@@ -1,0 +1,118 @@
+"""The edge server: GPUs plus the camera streams attached to it.
+
+An :class:`EdgeServer` bundles a :class:`~repro.cluster.gpu.GPUFleet` with the
+set of :class:`~repro.datasets.stream.VideoStream` objects whose inference and
+retraining jobs it must host, and carries the global scheduling parameters
+(allocation unit δ, minimum inference accuracy a_MIN, retraining-window
+duration).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..datasets.stream import VideoStream
+from ..exceptions import SchedulingError
+from .gpu import GPUFleet
+from .jobs import InferenceJob, RetrainingJob, inference_job_id, retraining_job_id
+
+
+@dataclass
+class EdgeServerSpec:
+    """Static description of an edge deployment.
+
+    Attributes
+    ----------
+    num_gpus:
+        Number of provisioned GPUs (the x-axis of Figure 7).
+    delta:
+        Smallest granularity of GPU allocation δ (Table 2).
+    steal_quantum:
+        The thief scheduler's stealing increment Δ (Figure 10); defaults to δ.
+    min_inference_accuracy:
+        a_MIN — inference accuracy below which configurations are rejected.
+    window_duration:
+        Duration of one retraining window ∥T∥ in seconds.
+    """
+
+    num_gpus: int = 1
+    delta: float = 0.1
+    steal_quantum: Optional[float] = None
+    min_inference_accuracy: float = 0.4
+    window_duration: float = 200.0
+
+    def __post_init__(self) -> None:
+        if self.num_gpus < 1:
+            raise SchedulingError("num_gpus must be >= 1")
+        if not 0 < self.delta <= self.num_gpus:
+            raise SchedulingError("delta must be in (0, num_gpus]")
+        if self.steal_quantum is None:
+            self.steal_quantum = self.delta
+        if self.steal_quantum <= 0:
+            raise SchedulingError("steal_quantum must be positive")
+        if not 0.0 <= self.min_inference_accuracy < 1.0:
+            raise SchedulingError("min_inference_accuracy must be in [0, 1)")
+        if self.window_duration <= 0:
+            raise SchedulingError("window_duration must be positive")
+
+    @property
+    def gpu_time_per_window(self) -> float:
+        """Total GPU-time G·∥T∥ available in one retraining window."""
+        return self.num_gpus * self.window_duration
+
+
+class EdgeServer:
+    """One edge server hosting inference + retraining for several streams."""
+
+    def __init__(self, spec: EdgeServerSpec, streams: Sequence[VideoStream]) -> None:
+        if not streams:
+            raise SchedulingError("an edge server needs at least one attached stream")
+        names = [stream.name for stream in streams]
+        if len(set(names)) != len(names):
+            raise SchedulingError("stream names must be unique")
+        self.spec = spec
+        self.fleet = GPUFleet(spec.num_gpus)
+        self._streams: Dict[str, VideoStream] = {stream.name: stream for stream in streams}
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def streams(self) -> List[VideoStream]:
+        return list(self._streams.values())
+
+    @property
+    def stream_names(self) -> List[str]:
+        return list(self._streams.keys())
+
+    @property
+    def num_streams(self) -> int:
+        return len(self._streams)
+
+    def stream(self, name: str) -> VideoStream:
+        try:
+            return self._streams[name]
+        except KeyError as exc:
+            raise SchedulingError(f"no stream named {name!r} on this server") from exc
+
+    # ------------------------------------------------------------------ jobs
+    def make_jobs(self) -> Dict[str, object]:
+        """Fresh (unconfigured) inference and retraining jobs for one window."""
+        jobs: Dict[str, object] = {}
+        for name in self._streams:
+            jobs[inference_job_id(name)] = InferenceJob(name)
+            jobs[retraining_job_id(name)] = RetrainingJob(name)
+        return jobs
+
+    def all_job_ids(self) -> List[str]:
+        """Job ids in the order the thief scheduler iterates over them."""
+        ids: List[str] = []
+        for name in self._streams:
+            ids.append(inference_job_id(name))
+            ids.append(retraining_job_id(name))
+        return ids
+
+    def __repr__(self) -> str:
+        return (
+            f"EdgeServer(gpus={self.spec.num_gpus}, streams={self.num_streams}, "
+            f"delta={self.spec.delta}, window={self.spec.window_duration}s)"
+        )

@@ -1,0 +1,140 @@
+"""Placement of fractional allocations onto physical GPUs.
+
+The thief scheduler outputs "continuous" allocations that could straddle two
+GPUs; spanning a job across devices would require expensive inter-GPU
+communication, so Ekya first quantises each allocation to an inverse power of
+two (1, 1/2, 1/4, ...) and then packs jobs onto GPUs in descending order of
+demand to reduce fragmentation (§5, citing multi-resource packing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..exceptions import PlacementError
+from ..utils.math_utils import quantize_to_inverse_power_of_two
+from .gpu import EPSILON, GPUFleet
+
+
+@dataclass
+class Placement:
+    """The result of packing quantised allocations onto GPUs."""
+
+    assignments: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    quantized: Dict[str, float] = field(default_factory=dict)
+    requested: Dict[str, float] = field(default_factory=dict)
+
+    def gpu_for(self, job_id: str) -> List[Tuple[int, float]]:
+        """(gpu_id, fraction) pieces assigned to ``job_id``."""
+        return list(self.assignments.get(job_id, []))
+
+    def total_for(self, job_id: str) -> float:
+        return float(sum(fraction for _, fraction in self.assignments.get(job_id, [])))
+
+    def allocation_loss(self) -> float:
+        """Total GPU fraction lost to quantisation across all jobs."""
+        return float(
+            sum(max(0.0, self.requested.get(job, 0.0) - self.quantized.get(job, 0.0)) for job in self.requested)
+        )
+
+
+def quantize_allocations(
+    requested: Mapping[str, float],
+    *,
+    min_fraction: float = 1.0 / 16.0,
+) -> Dict[str, float]:
+    """Quantise each requested fraction to whole GPUs plus an inverse power of two.
+
+    Requests of at least one GPU keep their integral part; the fractional
+    remainder (and any sub-GPU request) is rounded down to 1/2^k.  Zero
+    requests stay zero.
+    """
+    quantized: Dict[str, float] = {}
+    for job_id, fraction in requested.items():
+        if fraction < 0:
+            raise PlacementError(f"negative allocation requested for {job_id!r}")
+        whole = float(int(fraction + EPSILON))
+        fractional_part = fraction - whole
+        # The fractional part is rounded *down* to a single inverse power of
+        # two (Ekya, §5): a single binary piece keeps jobs trivially packable
+        # onto whole GPUs, at the cost of some quantisation loss, and rounding
+        # down guarantees quantisation can never turn a feasible schedule into
+        # an infeasible placement.  Sub-minimum remainders are dropped.
+        if fractional_part > EPSILON:
+            piece = quantize_to_inverse_power_of_two(fractional_part, min_fraction=min_fraction)
+            if piece > fractional_part + EPSILON:
+                piece = 0.0
+        else:
+            piece = 0.0
+        quantized[job_id] = whole + piece
+    return quantized
+
+
+def place_jobs(
+    requested: Mapping[str, float],
+    fleet: GPUFleet,
+    *,
+    min_fraction: float = 1.0 / 16.0,
+    apply: bool = True,
+) -> Placement:
+    """Quantise and pack the requested allocations onto the fleet's GPUs.
+
+    Jobs are placed in descending order of quantised demand (first-fit
+    decreasing).  A job needing more than one GPU is split into whole-GPU
+    pieces plus one fractional piece; sub-GPU pieces are never split across
+    devices.  Raises :class:`PlacementError` if the demands cannot fit.
+    """
+    quantized = quantize_allocations(requested, min_fraction=min_fraction)
+    total_demand = sum(quantized.values())
+    if total_demand > fleet.total_capacity + 1e-6:
+        raise PlacementError(
+            f"quantised demand {total_demand:.3f} exceeds fleet capacity {fleet.total_capacity:.3f}"
+        )
+    if apply:
+        fleet.release_all()
+    free: Dict[int, float] = {gpu.gpu_id: gpu.capacity for gpu in fleet.gpus}
+    placement = Placement(requested=dict(requested), quantized=dict(quantized))
+
+    for job_id, demand in sorted(quantized.items(), key=lambda item: item[1], reverse=True):
+        if demand <= EPSILON:
+            placement.assignments[job_id] = []
+            continue
+        pieces: List[Tuple[int, float]] = []
+        remaining = demand
+        # Whole-GPU pieces first.
+        while remaining >= 1.0 - EPSILON:
+            gpu_id = _find_gpu(free, 1.0)
+            if gpu_id is None:
+                raise PlacementError(f"no free GPU for a whole-GPU piece of {job_id!r}")
+            free[gpu_id] -= 1.0
+            pieces.append((gpu_id, 1.0))
+            remaining -= 1.0
+        if remaining > EPSILON:
+            gpu_id = _find_gpu(free, remaining)
+            if gpu_id is None:
+                raise PlacementError(
+                    f"cannot place fractional piece {remaining:.3f} of {job_id!r} on any single GPU"
+                )
+            free[gpu_id] -= remaining
+            pieces.append((gpu_id, remaining))
+        placement.assignments[job_id] = pieces
+
+    if apply:
+        for job_id, pieces in placement.assignments.items():
+            for gpu_id, fraction in pieces:
+                gpu = fleet.gpu(gpu_id)
+                existing = gpu.reservation_for(job_id)
+                gpu.reserve(job_id, existing + fraction)
+    return placement
+
+
+def _find_gpu(free: Dict[int, float], demand: float) -> Optional[int]:
+    """Best-fit GPU: the one whose free space is smallest but still sufficient."""
+    best_id: Optional[int] = None
+    best_free = float("inf")
+    for gpu_id, available in free.items():
+        if available + EPSILON >= demand and available < best_free:
+            best_id = gpu_id
+            best_free = available
+    return best_id

@@ -1,0 +1,139 @@
+"""Resource-allocation vectors used by the schedulers.
+
+The thief scheduler reasons about a flat mapping ``job id -> GPU fraction``
+whose sum must not exceed the provisioned GPUs and whose entries move in
+multiples of the allocation unit δ (§4.1–4.2).  :class:`AllocationVector`
+implements that arithmetic (fair initialisation, stealing a quantum Δ,
+validation) independently of which physical GPU each fraction lands on —
+placement onto devices is a separate step (:mod:`repro.cluster.placement`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping
+
+from ..exceptions import AllocationError
+from .gpu import EPSILON
+
+
+@dataclass
+class AllocationVector:
+    """A mapping from job id to GPU fraction, bounded by ``total_gpus``."""
+
+    total_gpus: float
+    quantum: float = 0.1
+    allocations: Dict[str, float] = None  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.total_gpus <= 0:
+            raise AllocationError("total_gpus must be positive")
+        if self.quantum <= 0 or self.quantum > self.total_gpus:
+            raise AllocationError("quantum must be in (0, total_gpus]")
+        if self.allocations is None:
+            self.allocations = {}
+        self.validate()
+
+    # --------------------------------------------------------------- helpers
+    @classmethod
+    def fair(cls, job_ids: Iterable[str], total_gpus: float, *, quantum: float = 0.1) -> "AllocationVector":
+        """Evenly split the GPUs across all jobs (the thief's starting point)."""
+        ids = list(job_ids)
+        if not ids:
+            raise AllocationError("cannot build an allocation for zero jobs")
+        share = total_gpus / len(ids)
+        vector = cls(total_gpus=total_gpus, quantum=quantum, allocations={job: share for job in ids})
+        return vector
+
+    def copy(self) -> "AllocationVector":
+        return AllocationVector(
+            total_gpus=self.total_gpus,
+            quantum=self.quantum,
+            allocations=dict(self.allocations),
+        )
+
+    # ------------------------------------------------------------- accessors
+    def get(self, job_id: str) -> float:
+        return float(self.allocations.get(job_id, 0.0))
+
+    def job_ids(self) -> List[str]:
+        return list(self.allocations.keys())
+
+    @property
+    def total_allocated(self) -> float:
+        return float(sum(self.allocations.values()))
+
+    @property
+    def slack(self) -> float:
+        return self.total_gpus - self.total_allocated
+
+    # ------------------------------------------------------------ operations
+    def set(self, job_id: str, fraction: float) -> None:
+        if fraction < -EPSILON:
+            raise AllocationError("allocations must be non-negative")
+        fraction = max(0.0, fraction)
+        new_total = self.total_allocated - self.get(job_id) + fraction
+        if new_total > self.total_gpus + EPSILON:
+            raise AllocationError(
+                f"allocation of {fraction:.3f} to {job_id!r} exceeds {self.total_gpus} GPUs"
+            )
+        self.allocations[job_id] = fraction
+
+    def steal(self, thief_id: str, victim_id: str, amount: float) -> bool:
+        """Move ``amount`` GPUs from victim to thief.
+
+        Returns ``False`` (and leaves the vector unchanged) if the victim does
+        not have ``amount`` to give; this is the negative-allocation check of
+        Algorithm 1 (lines 12–13).
+        """
+        if thief_id == victim_id:
+            raise AllocationError("a job cannot steal from itself")
+        if amount <= 0:
+            raise AllocationError("steal amount must be positive")
+        victim_allocation = self.get(victim_id)
+        if victim_allocation - amount < -EPSILON:
+            return False
+        self.allocations[victim_id] = max(0.0, victim_allocation - amount)
+        self.allocations[thief_id] = self.get(thief_id) + amount
+        return True
+
+    def validate(self) -> None:
+        """Raise if any entry is negative or the total exceeds the GPUs."""
+        for job_id, fraction in self.allocations.items():
+            if fraction < -EPSILON:
+                raise AllocationError(f"negative allocation for {job_id!r}")
+        if self.total_allocated > self.total_gpus + 1e-6:
+            raise AllocationError(
+                f"total allocation {self.total_allocated:.3f} exceeds {self.total_gpus} GPUs"
+            )
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.allocations)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{job}={fraction:.2f}" for job, fraction in sorted(self.allocations.items()))
+        return f"AllocationVector({inner}; total={self.total_gpus})"
+
+
+def redistribute_released(
+    allocation: Mapping[str, float],
+    released_job_id: str,
+    *,
+    total_gpus: float,
+    quantum: float = 0.1,
+) -> AllocationVector:
+    """Redistribute a finished job's share evenly among the remaining jobs.
+
+    Ekya re-runs the thief scheduler when a retraining job completes; this
+    helper provides the simple proportional fallback used by baselines and as
+    the starting point of that re-run.
+    """
+    remaining = {job: fraction for job, fraction in allocation.items() if job != released_job_id}
+    vector = AllocationVector(total_gpus=total_gpus, quantum=quantum, allocations=dict(remaining))
+    freed = float(allocation.get(released_job_id, 0.0))
+    if not remaining or freed <= 0:
+        return vector
+    bonus = freed / len(remaining)
+    for job in remaining:
+        vector.set(job, vector.get(job) + bonus)
+    return vector

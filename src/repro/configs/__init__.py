@@ -1,0 +1,23 @@
+"""Retraining and inference configuration spaces (Γ and Λ in the paper)."""
+
+from .inference import InferenceConfig, default_inference_configs, derive_gpu_demand
+from .retraining import (
+    NO_RETRAINING,
+    RetrainingConfig,
+    default_retraining_grid,
+    named_table1_configs,
+    validate_unique,
+)
+from .space import ConfigurationSpace
+
+__all__ = [
+    "InferenceConfig",
+    "default_inference_configs",
+    "derive_gpu_demand",
+    "NO_RETRAINING",
+    "RetrainingConfig",
+    "default_retraining_grid",
+    "named_table1_configs",
+    "validate_unique",
+    "ConfigurationSpace",
+]

@@ -1,0 +1,215 @@
+"""Retraining-job configurations ("hyperparameter configurations").
+
+A retraining configuration in the paper (§3.1, §6.1) combines:
+
+* number of training epochs,
+* batch size,
+* number of neurons in the last (classification) layer,
+* number of layers to retrain (the rest are frozen),
+* the fraction of the retraining window's data to use.
+
+These knobs control both the GPU cost of retraining and the accuracy of the
+retrained model (Figure 3).  :class:`RetrainingConfig` is a frozen value
+object so that it can be used as a dictionary key in profile stores and
+scheduler decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..exceptions import ConfigurationError
+
+#: Sentinel meaning "do not retrain this stream in this window" (γ = ∅ in the
+#: paper's formulation).  Represented by ``None`` in scheduler decisions; this
+#: constant exists so call-sites read clearly.
+NO_RETRAINING = None
+
+
+@dataclass(frozen=True, order=True)
+class RetrainingConfig:
+    """Immutable description of one retraining hyperparameter configuration.
+
+    Attributes
+    ----------
+    epochs:
+        Number of passes over the (sampled) retraining data.
+    batch_size:
+        Mini-batch size used by the trainer.
+    last_layer_neurons:
+        Width of the final hidden layer; larger is more expressive and more
+        expensive.
+    layers_trained_fraction:
+        Fraction of the network's layers that are unfrozen and updated
+        (``1.0`` retrains the whole model, smaller values freeze the early
+        layers as in transfer learning).
+    data_fraction:
+        Fraction of the retraining window's accumulated samples used for
+        training (the window data is itself a golden-model-labelled subset of
+        the raw video).
+    name:
+        Optional human-readable label (e.g. ``"Cfg1A"`` from Table 1).
+    """
+
+    epochs: int
+    batch_size: int = 16
+    last_layer_neurons: int = 64
+    layers_trained_fraction: float = 1.0
+    data_fraction: float = 1.0
+    name: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        if self.epochs < 1:
+            raise ConfigurationError("epochs must be >= 1")
+        if self.batch_size < 1:
+            raise ConfigurationError("batch_size must be >= 1")
+        if self.last_layer_neurons < 1:
+            raise ConfigurationError("last_layer_neurons must be >= 1")
+        if not 0.0 < self.layers_trained_fraction <= 1.0:
+            raise ConfigurationError("layers_trained_fraction must be in (0, 1]")
+        if not 0.0 < self.data_fraction <= 1.0:
+            raise ConfigurationError("data_fraction must be in (0, 1]")
+
+    # ------------------------------------------------------------------ cost
+    def relative_cost(self) -> float:
+        """Relative GPU cost of this configuration (arbitrary units).
+
+        Cost grows linearly with epochs and data fraction, sub-linearly with
+        batch size (larger batches amortise per-batch overhead), linearly with
+        the fraction of layers trained (frozen layers only need a forward
+        pass), and mildly with the classifier width.  The absolute GPU-seconds
+        for a specific stream come from the profiles subpackage; this relative
+        number is what the synthetic profile generator and cost model scale.
+        """
+        freeze_factor = 0.35 + 0.65 * self.layers_trained_fraction
+        batch_factor = 1.0 + 8.0 / float(self.batch_size)
+        width_factor = 0.8 + 0.2 * (self.last_layer_neurons / 64.0)
+        return float(
+            self.epochs * self.data_fraction * freeze_factor * batch_factor * width_factor
+        )
+
+    def gpu_seconds(self, *, seconds_per_epoch_full_data: float) -> float:
+        """GPU-seconds at 100 % GPU allocation given a per-epoch measurement.
+
+        ``seconds_per_epoch_full_data`` is what the micro-profiler measures:
+        the wall-clock time of one epoch over the full window data at 100 %
+        allocation.  Cost then scales with epochs, data fraction and the
+        freeze/batch/width factors of :meth:`relative_cost`.
+        """
+        if seconds_per_epoch_full_data <= 0:
+            raise ConfigurationError("seconds_per_epoch_full_data must be positive")
+        baseline = RetrainingConfig(
+            epochs=1,
+            batch_size=self.batch_size,
+            last_layer_neurons=self.last_layer_neurons,
+            layers_trained_fraction=1.0,
+            data_fraction=1.0,
+        )
+        scale = self.relative_cost() / baseline.relative_cost()
+        return float(seconds_per_epoch_full_data * scale)
+
+    # ------------------------------------------------------------ variations
+    def with_epochs(self, epochs: int) -> "RetrainingConfig":
+        """Copy of this config with a different epoch count."""
+        return replace(self, epochs=epochs)
+
+    def with_data_fraction(self, data_fraction: float) -> "RetrainingConfig":
+        """Copy of this config with a different data fraction."""
+        return replace(self, data_fraction=data_fraction)
+
+    def key(self) -> Tuple:
+        """Hashable identity ignoring the cosmetic ``name`` field."""
+        return (
+            self.epochs,
+            self.batch_size,
+            self.last_layer_neurons,
+            round(self.layers_trained_fraction, 6),
+            round(self.data_fraction, 6),
+        )
+
+    def as_dict(self) -> Dict:
+        return {
+            "epochs": self.epochs,
+            "batch_size": self.batch_size,
+            "last_layer_neurons": self.last_layer_neurons,
+            "layers_trained_fraction": self.layers_trained_fraction,
+            "data_fraction": self.data_fraction,
+            "name": self.name,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict) -> "RetrainingConfig":
+        return cls(
+            epochs=int(payload["epochs"]),
+            batch_size=int(payload.get("batch_size", 16)),
+            last_layer_neurons=int(payload.get("last_layer_neurons", 64)),
+            layers_trained_fraction=float(payload.get("layers_trained_fraction", 1.0)),
+            data_fraction=float(payload.get("data_fraction", 1.0)),
+            name=payload.get("name"),
+        )
+
+
+def default_retraining_grid(
+    *,
+    epochs: Sequence[int] = (5, 15, 30),
+    layers_trained: Sequence[float] = (0.1, 0.5, 1.0),
+    data_fractions: Sequence[float] = (0.2, 0.5, 1.0),
+    batch_sizes: Sequence[int] = (16,),
+    last_layer_neurons: Sequence[int] = (64,),
+) -> List[RetrainingConfig]:
+    """Cartesian grid of retraining configurations.
+
+    The defaults yield 27 configurations spanning the two hyperparameters the
+    paper sweeps in Figure 3a (data subsampling λ and layers trained) times
+    three epoch budgets; the evaluation (§6.3) uses "18 configurations per
+    model", which :func:`repro.configs.space.ConfigurationSpace.pruned`
+    reaches after Pareto pruning.
+    """
+    grid: List[RetrainingConfig] = []
+    for epoch_count in epochs:
+        for layer_fraction in layers_trained:
+            for data_fraction in data_fractions:
+                for batch_size in batch_sizes:
+                    for width in last_layer_neurons:
+                        grid.append(
+                            RetrainingConfig(
+                                epochs=int(epoch_count),
+                                batch_size=int(batch_size),
+                                last_layer_neurons=int(width),
+                                layers_trained_fraction=float(layer_fraction),
+                                data_fraction=float(data_fraction),
+                            )
+                        )
+    if not grid:
+        raise ConfigurationError("the retraining grid must contain at least one configuration")
+    return grid
+
+
+def named_table1_configs() -> Dict[str, RetrainingConfig]:
+    """The four named configurations of Table 1 (Cfg1A/Cfg2A/Cfg1B/Cfg2B).
+
+    Their accuracies and GPU costs in the illustrative example come from the
+    paper's Table 1 and live in :mod:`repro.profiles.synthetic`; here we only
+    need distinct hyperparameter identities with the right cost ordering
+    (Cfg1* is the expensive, high-accuracy option; Cfg2* the cheap one).
+    """
+    return {
+        "Cfg1A": RetrainingConfig(epochs=30, layers_trained_fraction=1.0, data_fraction=1.0, name="Cfg1A"),
+        "Cfg2A": RetrainingConfig(epochs=15, layers_trained_fraction=0.5, data_fraction=0.5, name="Cfg2A"),
+        "Cfg1B": RetrainingConfig(epochs=30, layers_trained_fraction=1.0, data_fraction=0.8, name="Cfg1B"),
+        "Cfg2B": RetrainingConfig(epochs=10, layers_trained_fraction=0.5, data_fraction=0.5, name="Cfg2B"),
+    }
+
+
+def validate_unique(configs: Iterable[RetrainingConfig]) -> List[RetrainingConfig]:
+    """Return ``configs`` as a list, raising if two share the same identity."""
+    seen = {}
+    result = []
+    for config in configs:
+        key = config.key()
+        if key in seen:
+            raise ConfigurationError(f"duplicate retraining configuration: {config}")
+        seen[key] = config
+        result.append(config)
+    return result

@@ -1,0 +1,69 @@
+"""Ekya's core: thief scheduler, micro-profiler, controller and baselines."""
+
+from .baselines import (
+    UNIFORM_CONFIG_1,
+    UNIFORM_CONFIG_2,
+    NoRetrainingPolicy,
+    UniformPolicy,
+    standard_uniform_baselines,
+)
+from .cached import (
+    CachedModelEntry,
+    CachedReuseResult,
+    build_model_cache,
+    evaluate_cached_reuse,
+    select_cached_model,
+)
+from .cloud import CloudRetrainingPolicy
+from .controller import EkyaPolicy
+from .estimator import AccuracyEstimate, estimate_stream_average_accuracy
+from .microprofiler import (
+    MicroProfiler,
+    MicroProfilerSettings,
+    MicroProfilingSource,
+    OracleProfileSource,
+    ProfileSource,
+)
+from .pick_configs import pick_configs, pick_configs_for_stream, pick_inference_config
+from .policy import ProfiledPolicy, WindowPolicy
+from .thief import ThiefScheduler
+from .types import (
+    ScheduleRequest,
+    Scheduler,
+    StreamDecision,
+    StreamWindowInput,
+    WindowSchedule,
+)
+
+__all__ = [
+    "UNIFORM_CONFIG_1",
+    "UNIFORM_CONFIG_2",
+    "NoRetrainingPolicy",
+    "UniformPolicy",
+    "standard_uniform_baselines",
+    "CachedModelEntry",
+    "CachedReuseResult",
+    "build_model_cache",
+    "evaluate_cached_reuse",
+    "select_cached_model",
+    "CloudRetrainingPolicy",
+    "EkyaPolicy",
+    "AccuracyEstimate",
+    "estimate_stream_average_accuracy",
+    "MicroProfiler",
+    "MicroProfilerSettings",
+    "MicroProfilingSource",
+    "OracleProfileSource",
+    "ProfileSource",
+    "pick_configs",
+    "pick_configs_for_stream",
+    "pick_inference_config",
+    "ProfiledPolicy",
+    "WindowPolicy",
+    "ThiefScheduler",
+    "ScheduleRequest",
+    "Scheduler",
+    "StreamDecision",
+    "StreamWindowInput",
+    "WindowSchedule",
+]

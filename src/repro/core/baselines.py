@@ -1,0 +1,218 @@
+"""Baseline schedulers the paper compares against.
+
+The primary baseline is the **uniform scheduler** (§6.1): GPUs are split
+evenly across video streams, each stream statically partitions its share
+between inference and retraining, and retraining always uses one fixed
+configuration chosen from the hold-out Pareto frontier ("Config 1" is the
+expensive high-accuracy point, "Config 2" the cheap one).  A no-retraining
+policy is also provided as a lower bound and for capacity accounting.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Sequence
+
+from ..cluster.edge_server import EdgeServerSpec
+from ..configs.retraining import RetrainingConfig
+from ..configs.space import ConfigurationSpace
+from ..datasets.stream import VideoStream
+from ..exceptions import SchedulingError
+from .estimator import estimate_stream_average_accuracy
+from .microprofiler import ProfileSource
+from .pick_configs import pick_inference_config
+from .policy import ProfiledPolicy
+from .types import StreamDecision, WindowSchedule
+
+
+#: The two fixed retraining configurations used by the uniform baselines.
+#: "Config 1" sits at the expensive end of the Pareto frontier of the default
+#: grid, "Config 2" near the cheap end (§6.1).
+UNIFORM_CONFIG_1 = RetrainingConfig(
+    epochs=30, layers_trained_fraction=1.0, data_fraction=1.0, name="Config1"
+)
+UNIFORM_CONFIG_2 = RetrainingConfig(
+    epochs=15, layers_trained_fraction=0.5, data_fraction=0.5, name="Config2"
+)
+
+
+class UniformPolicy(ProfiledPolicy):
+    """Even GPU split across streams, static inference share, fixed config.
+
+    ``inference_share`` is the fraction of each stream's GPU slice given to
+    inference (the paper sweeps 30 %, 50 % and 90 %); the remainder goes to
+    retraining with ``retraining_config`` in every window.
+    """
+
+    def __init__(
+        self,
+        profile_source: ProfileSource,
+        config_space: ConfigurationSpace | None = None,
+        *,
+        retraining_config: RetrainingConfig = UNIFORM_CONFIG_2,
+        inference_share: float = 0.5,
+        name: Optional[str] = None,
+    ) -> None:
+        super().__init__(profile_source, config_space)
+        if not 0.0 < inference_share <= 1.0:
+            raise SchedulingError("inference_share must be in (0, 1]")
+        self._retraining_config = retraining_config
+        self._inference_share = inference_share
+        config_label = retraining_config.name or "fixed"
+        self.name = name or f"uniform ({config_label}, {int(round(inference_share * 100))}%)"
+
+    @property
+    def retraining_config(self) -> RetrainingConfig:
+        return self._retraining_config
+
+    @property
+    def inference_share(self) -> float:
+        return self._inference_share
+
+    def plan_window(
+        self,
+        streams: Sequence[VideoStream],
+        window_index: int,
+        spec: EdgeServerSpec,
+    ) -> WindowSchedule:
+        request = self.build_request(streams, window_index, spec)
+        started = time.perf_counter()
+        per_stream = request.total_gpus / len(request.streams)
+        inference_gpu = per_stream * self._inference_share
+        retraining_gpu = per_stream - inference_gpu
+
+        decisions: Dict[str, StreamDecision] = {}
+        for name, stream_input in request.streams.items():
+            profile = stream_input.profile
+            inference_config = pick_inference_config(
+                stream_input, inference_gpu, a_min=request.a_min
+            )
+            estimate = None
+            chosen_config = None
+            if retraining_gpu > 1e-9:
+                chosen_config = self._matching_config(profile.estimates.keys())
+                if chosen_config is not None:
+                    estimate = profile.estimates[chosen_config]
+            evaluation = estimate_stream_average_accuracy(
+                start_accuracy=profile.start_accuracy,
+                post_retraining_accuracy=(
+                    estimate.post_retraining_accuracy if estimate is not None else None
+                ),
+                retraining_gpu_seconds=estimate.gpu_seconds if estimate is not None else 0.0,
+                inference_config=inference_config,
+                inference_gpu=inference_gpu,
+                retraining_gpu=retraining_gpu if estimate is not None else 0.0,
+                window_seconds=request.window_seconds,
+            )
+            decisions[name] = StreamDecision(
+                stream_name=name,
+                inference_config=inference_config,
+                inference_gpu=inference_gpu,
+                retraining_config=chosen_config if estimate is not None else None,
+                retraining_gpu=retraining_gpu if estimate is not None else 0.0,
+                estimated_average_accuracy=evaluation.average_accuracy,
+            )
+
+        mean_accuracy = sum(d.estimated_average_accuracy for d in decisions.values()) / len(decisions)
+        schedule = WindowSchedule(
+            window_index=request.window_index,
+            decisions=decisions,
+            estimated_average_accuracy=mean_accuracy,
+            scheduler_runtime_seconds=time.perf_counter() - started,
+            iterations=1,
+        )
+        schedule.validate_against(request)
+        return schedule
+
+    def _matching_config(self, available) -> Optional[RetrainingConfig]:
+        """Find the profiled configuration matching the fixed choice."""
+        target_key = self._retraining_config.key()
+        for config in available:
+            if config.key() == target_key:
+                return config
+        # The fixed configuration was pruned from the profile; fall back to the
+        # closest match by epoch count so the baseline still retrains.
+        candidates = list(available)
+        if not candidates:
+            return None
+        return min(candidates, key=lambda cfg: abs(cfg.epochs - self._retraining_config.epochs))
+
+
+class NoRetrainingPolicy(ProfiledPolicy):
+    """Never retrains: all GPUs go to inference (lower bound / ablation)."""
+
+    def __init__(
+        self,
+        profile_source: ProfileSource,
+        config_space: ConfigurationSpace | None = None,
+        *,
+        name: str = "no-retraining",
+    ) -> None:
+        super().__init__(profile_source, config_space)
+        self.name = name
+
+    def plan_window(
+        self,
+        streams: Sequence[VideoStream],
+        window_index: int,
+        spec: EdgeServerSpec,
+    ) -> WindowSchedule:
+        request = self.build_request(streams, window_index, spec)
+        started = time.perf_counter()
+        per_stream = request.total_gpus / len(request.streams)
+        decisions: Dict[str, StreamDecision] = {}
+        for name, stream_input in request.streams.items():
+            inference_config = pick_inference_config(stream_input, per_stream, a_min=request.a_min)
+            evaluation = estimate_stream_average_accuracy(
+                start_accuracy=stream_input.profile.start_accuracy,
+                post_retraining_accuracy=None,
+                retraining_gpu_seconds=0.0,
+                inference_config=inference_config,
+                inference_gpu=per_stream,
+                retraining_gpu=0.0,
+                window_seconds=request.window_seconds,
+            )
+            decisions[name] = StreamDecision(
+                stream_name=name,
+                inference_config=inference_config,
+                inference_gpu=per_stream,
+                estimated_average_accuracy=evaluation.average_accuracy,
+            )
+        mean_accuracy = sum(d.estimated_average_accuracy for d in decisions.values()) / len(decisions)
+        schedule = WindowSchedule(
+            window_index=request.window_index,
+            decisions=decisions,
+            estimated_average_accuracy=mean_accuracy,
+            scheduler_runtime_seconds=time.perf_counter() - started,
+            iterations=1,
+        )
+        schedule.validate_against(request)
+        return schedule
+
+
+def standard_uniform_baselines(
+    profile_source: ProfileSource,
+    config_space: ConfigurationSpace | None = None,
+) -> Dict[str, UniformPolicy]:
+    """The four uniform variants plotted in Figures 6–8.
+
+    Returns a mapping from the paper's legend label to the policy:
+    ``Uniform (Config 1, 50%)``, ``Uniform (Config 2, 30%)``,
+    ``Uniform (Config 2, 50%)`` and ``Uniform (Config 2, 90%)``.
+    """
+    variants = [
+        (UNIFORM_CONFIG_1, 0.5),
+        (UNIFORM_CONFIG_2, 0.3),
+        (UNIFORM_CONFIG_2, 0.5),
+        (UNIFORM_CONFIG_2, 0.9),
+    ]
+    policies: Dict[str, UniformPolicy] = {}
+    for config, share in variants:
+        policy = UniformPolicy(
+            profile_source,
+            config_space,
+            retraining_config=config,
+            inference_share=share,
+        )
+        policies[policy.name] = policy
+    return policies

@@ -1,0 +1,134 @@
+"""Window-average inference-accuracy estimation (EstimateAccuracy).
+
+The paper's target metric is the inference accuracy *averaged over the
+retraining window*: while a model is being retrained, its stream is analysed
+by the stale model with whatever GPU fraction the inference job kept (possibly
+forcing frame subsampling), and once retraining completes the stream enjoys
+the retrained model's higher accuracy for the remainder of the window
+(§3.2, Figure 4).  ``EstimateAccuracy`` in Algorithm 2 aggregates exactly
+those two phases; :func:`estimate_stream_average_accuracy` implements it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..configs.inference import InferenceConfig
+from ..exceptions import SchedulingError
+from ..utils.math_utils import clamp, time_weighted_average
+
+
+@dataclass(frozen=True)
+class AccuracyEstimate:
+    """Breakdown of the estimated accuracy of one stream over one window."""
+
+    average_accuracy: float
+    accuracy_during_retraining: float
+    accuracy_after_retraining: float
+    retraining_duration: float
+    retraining_completes: bool
+    minimum_instantaneous_accuracy: float
+
+    def meets_minimum(self, a_min: float) -> bool:
+        """Whether the instantaneous accuracy never drops below ``a_min``."""
+        return self.minimum_instantaneous_accuracy + 1e-9 >= a_min
+
+
+def estimate_stream_average_accuracy(
+    *,
+    start_accuracy: float,
+    post_retraining_accuracy: Optional[float],
+    retraining_gpu_seconds: float,
+    inference_config: InferenceConfig,
+    inference_gpu: float,
+    retraining_gpu: float,
+    window_seconds: float,
+    release_retraining_gpu_to_inference: bool = True,
+    external_retraining_duration: Optional[float] = None,
+) -> AccuracyEstimate:
+    """Estimate one stream's inference accuracy averaged over the window.
+
+    Parameters mirror the quantities Algorithm 2 works with:
+
+    * ``start_accuracy`` — accuracy of the currently deployed model on this
+      window's content (before any retraining).
+    * ``post_retraining_accuracy`` — accuracy the retrained model would reach;
+      ``None`` means no retraining is scheduled.
+    * ``retraining_gpu_seconds`` — the configuration's cost at 100 % GPU.
+    * ``inference_gpu`` / ``retraining_gpu`` — the allocations under
+      evaluation.
+    * ``release_retraining_gpu_to_inference`` — after retraining completes,
+      Ekya re-runs its scheduler and the freed GPUs typically flow back to the
+      inference jobs; modelling that (the default) matches Figure 4, where the
+      post-retraining accuracy is evaluated at the full allocation.
+    * ``external_retraining_duration`` — when set, the model update arrives
+      after this many wall-clock seconds irrespective of the edge GPU
+      allocation (cloud-offloaded retraining over a WAN link).
+    """
+    if not 0.0 <= start_accuracy <= 1.0:
+        raise SchedulingError("start_accuracy must be in [0, 1]")
+    if post_retraining_accuracy is not None and not 0.0 <= post_retraining_accuracy <= 1.0:
+        raise SchedulingError("post_retraining_accuracy must be in [0, 1]")
+    if window_seconds <= 0:
+        raise SchedulingError("window_seconds must be positive")
+    if inference_gpu < 0 or retraining_gpu < 0:
+        raise SchedulingError("allocations must be non-negative")
+    if retraining_gpu_seconds < 0:
+        raise SchedulingError("retraining_gpu_seconds must be non-negative")
+
+    inference_factor_during = inference_config.effective_accuracy_factor(inference_gpu)
+    accuracy_during = clamp(start_accuracy * inference_factor_during)
+
+    external = external_retraining_duration is not None
+    no_retraining = post_retraining_accuracy is None or (
+        not external and (retraining_gpu <= 0 or retraining_gpu_seconds <= 0)
+    )
+    if no_retraining:
+        # Whole window at the (possibly degraded) stale-model accuracy.
+        return AccuracyEstimate(
+            average_accuracy=accuracy_during,
+            accuracy_during_retraining=accuracy_during,
+            accuracy_after_retraining=accuracy_during,
+            retraining_duration=0.0,
+            retraining_completes=False,
+            minimum_instantaneous_accuracy=accuracy_during,
+        )
+
+    if external:
+        duration = float(external_retraining_duration)
+    else:
+        duration = retraining_gpu_seconds / retraining_gpu
+    if duration >= window_seconds:
+        # Retraining does not finish inside the window: the stream pays the
+        # degraded inference accuracy the whole time and never reaps the
+        # benefit.  Algorithm 2 avoids such configurations.
+        return AccuracyEstimate(
+            average_accuracy=accuracy_during,
+            accuracy_during_retraining=accuracy_during,
+            accuracy_after_retraining=accuracy_during,
+            retraining_duration=duration,
+            retraining_completes=False,
+            minimum_instantaneous_accuracy=accuracy_during,
+        )
+
+    post_inference_gpu = (
+        inference_gpu + retraining_gpu if release_retraining_gpu_to_inference else inference_gpu
+    )
+    inference_factor_after = inference_config.effective_accuracy_factor(post_inference_gpu)
+    accuracy_after = clamp(post_retraining_accuracy * inference_factor_after)
+
+    average = time_weighted_average(
+        [
+            (duration, accuracy_during),
+            (window_seconds - duration, accuracy_after),
+        ]
+    )
+    return AccuracyEstimate(
+        average_accuracy=average,
+        accuracy_during_retraining=accuracy_during,
+        accuracy_after_retraining=accuracy_after,
+        retraining_duration=duration,
+        retraining_completes=True,
+        minimum_instantaneous_accuracy=min(accuracy_during, accuracy_after),
+    )

@@ -1,0 +1,143 @@
+"""Configuration selection for given allocations (Algorithm 2, PickConfigs).
+
+Given a tentative GPU allocation for every inference and retraining job,
+``PickConfigs`` chooses, per stream, the inference configuration with the
+highest accuracy that keeps up within its allocation and stays above a_MIN,
+and then the retraining configuration (possibly "no retraining") that
+maximises the estimated accuracy averaged over the retraining window.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, MutableMapping, Optional, Tuple
+
+from ..cluster.jobs import inference_job_id, retraining_job_id
+from ..configs.inference import InferenceConfig
+from ..exceptions import SchedulingError
+from ..utils.math_utils import safe_mean
+from .estimator import estimate_stream_average_accuracy
+from .types import ScheduleRequest, StreamDecision, StreamWindowInput
+
+
+def pick_inference_config(
+    stream_input: StreamWindowInput,
+    inference_gpu: float,
+    *,
+    a_min: float,
+) -> InferenceConfig:
+    """Pick the most accurate inference configuration that fits the allocation.
+
+    Preference order (Algorithm 2, lines 3–4): configurations that both fit
+    within the allocation and keep the instantaneous accuracy at or above
+    a_MIN; failing that, configurations that merely fit; failing that, the
+    cheapest configuration (the stream is under-provisioned and will degrade).
+    """
+    start_accuracy = stream_input.profile.start_accuracy
+    fitting = [
+        cfg
+        for cfg in stream_input.inference_configs
+        if float(cfg.gpu_demand or 0.0) <= inference_gpu + 1e-9
+    ]
+    if fitting:
+        above_min = [
+            cfg for cfg in fitting if start_accuracy * cfg.accuracy_factor() + 1e-9 >= a_min
+        ]
+        pool = above_min or fitting
+        return max(pool, key=lambda cfg: cfg.accuracy_factor())
+    return min(stream_input.inference_configs, key=lambda cfg: float(cfg.gpu_demand or 0.0))
+
+
+def pick_configs_for_stream(
+    stream_input: StreamWindowInput,
+    inference_gpu: float,
+    retraining_gpu: float,
+    *,
+    window_seconds: float,
+    a_min: float,
+    release_retraining_gpu_to_inference: bool = True,
+) -> StreamDecision:
+    """Choose the (inference, retraining) configuration pair for one stream."""
+    if inference_gpu < 0 or retraining_gpu < 0:
+        raise SchedulingError("allocations must be non-negative")
+    profile = stream_input.profile
+    inference_config = pick_inference_config(stream_input, inference_gpu, a_min=a_min)
+
+    def evaluate(config, post_accuracy, gpu_seconds):
+        return estimate_stream_average_accuracy(
+            start_accuracy=profile.start_accuracy,
+            post_retraining_accuracy=post_accuracy,
+            retraining_gpu_seconds=gpu_seconds,
+            inference_config=inference_config,
+            inference_gpu=inference_gpu,
+            retraining_gpu=retraining_gpu if config is not None else 0.0,
+            window_seconds=window_seconds,
+            release_retraining_gpu_to_inference=release_retraining_gpu_to_inference,
+        )
+
+    # The "no retraining" option is always a candidate (γ = ∅).
+    best_config = None
+    best_estimate = evaluate(None, None, 0.0)
+
+    if retraining_gpu > 0:
+        for config, estimate in profile.estimates.items():
+            candidate = evaluate(config, estimate.post_retraining_accuracy, estimate.gpu_seconds)
+            if not candidate.retraining_completes:
+                # Exceeds the window at this allocation (first constraint of Eq. 1).
+                continue
+            better = candidate.average_accuracy > best_estimate.average_accuracy + 1e-12
+            # Prefer options that respect a_MIN over ones that do not.
+            if candidate.meets_minimum(a_min) and not best_estimate.meets_minimum(a_min):
+                better = candidate.average_accuracy >= best_estimate.average_accuracy - 1e-12 or better
+            elif not candidate.meets_minimum(a_min) and best_estimate.meets_minimum(a_min):
+                better = False
+            if better:
+                best_config = config
+                best_estimate = candidate
+
+    retraining_allocation = retraining_gpu if best_config is not None else 0.0
+    return StreamDecision(
+        stream_name=stream_input.stream_name,
+        inference_config=inference_config,
+        inference_gpu=inference_gpu,
+        retraining_config=best_config,
+        retraining_gpu=retraining_allocation,
+        estimated_average_accuracy=best_estimate.average_accuracy,
+    )
+
+
+def pick_configs(
+    request: ScheduleRequest,
+    allocation: Mapping[str, float],
+    *,
+    release_retraining_gpu_to_inference: bool = True,
+    cache: Optional[MutableMapping[Tuple[str, float, float], StreamDecision]] = None,
+) -> Tuple[Dict[str, StreamDecision], float]:
+    """Algorithm 2 over all streams; returns decisions and their mean accuracy.
+
+    ``allocation`` maps job ids (``<stream>/inference`` and
+    ``<stream>/retraining``) to GPU fractions.  ``cache`` memoises per-stream
+    decisions keyed by the stream's own pair of allocations: the thief
+    scheduler perturbs only two jobs per step, so almost every other stream's
+    decision can be reused, which keeps Algorithm 1 fast.
+    """
+    decisions: Dict[str, StreamDecision] = {}
+    for name, stream_input in request.streams.items():
+        inference_gpu = float(allocation.get(inference_job_id(name), 0.0))
+        retraining_gpu = float(allocation.get(retraining_job_id(name), 0.0))
+        key = (name, round(inference_gpu, 6), round(retraining_gpu, 6))
+        if cache is not None and key in cache:
+            decisions[name] = cache[key]
+            continue
+        decision = pick_configs_for_stream(
+            stream_input,
+            inference_gpu,
+            retraining_gpu,
+            window_seconds=request.window_seconds,
+            a_min=request.a_min,
+            release_retraining_gpu_to_inference=release_retraining_gpu_to_inference,
+        )
+        decisions[name] = decision
+        if cache is not None:
+            cache[key] = decision
+    mean_accuracy = safe_mean([d.estimated_average_accuracy for d in decisions.values()])
+    return decisions, mean_accuracy

@@ -1,0 +1,91 @@
+"""Window policies: the glue between profiling, scheduling and simulation.
+
+A :class:`WindowPolicy` is invoked once per retraining window with the
+attached streams and the edge-server spec, and returns a
+:class:`~repro.core.types.WindowSchedule`.  Ekya's policy builds a
+:class:`~repro.core.types.ScheduleRequest` from micro-profiled (or oracle)
+profiles and runs the thief scheduler; baseline policies apply their fixed
+rules.  Keeping this interface small lets the trace-driven simulator execute
+every scheduler in exactly the same way, which is what the evaluation's
+like-for-like comparisons require.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence
+
+from ..cluster.edge_server import EdgeServerSpec
+from ..configs.space import ConfigurationSpace
+from ..datasets.stream import VideoStream
+from ..exceptions import SchedulingError
+from .microprofiler import ProfileSource
+from .types import ScheduleRequest, StreamWindowInput, WindowSchedule
+
+
+class WindowPolicy(abc.ABC):
+    """Decides configurations and allocations for each retraining window."""
+
+    #: Label used in benchmark tables (e.g. "Ekya", "Uniform (Cfg 1, 50%)").
+    name: str = "policy"
+
+    @abc.abstractmethod
+    def plan_window(
+        self,
+        streams: Sequence[VideoStream],
+        window_index: int,
+        spec: EdgeServerSpec,
+    ) -> WindowSchedule:
+        """Return the schedule for ``window_index`` over ``streams``."""
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(name={self.name!r})"
+
+
+class ProfiledPolicy(WindowPolicy):
+    """Base class for policies that consume per-window profiles."""
+
+    def __init__(
+        self,
+        profile_source: ProfileSource,
+        config_space: ConfigurationSpace | None = None,
+    ) -> None:
+        self._profile_source = profile_source
+        self._config_space = config_space or ConfigurationSpace.default()
+
+    @property
+    def profile_source(self) -> ProfileSource:
+        return self._profile_source
+
+    @property
+    def config_space(self) -> ConfigurationSpace:
+        return self._config_space
+
+    def build_request(
+        self,
+        streams: Sequence[VideoStream],
+        window_index: int,
+        spec: EdgeServerSpec,
+    ) -> ScheduleRequest:
+        """Profile every stream and assemble the scheduler's input."""
+        if not streams:
+            raise SchedulingError("cannot plan a window with no streams")
+        inputs: Dict[str, StreamWindowInput] = {}
+        for stream in streams:
+            profile = self._profile_source.profile(
+                stream, window_index, self._config_space.retraining_configs
+            )
+            profile.stream_name = stream.name
+            inputs[stream.name] = StreamWindowInput(
+                stream_name=stream.name,
+                profile=profile,
+                inference_configs=list(self._config_space.inference_configs),
+            )
+        return ScheduleRequest(
+            window_index=window_index,
+            window_seconds=spec.window_duration,
+            total_gpus=float(spec.num_gpus),
+            delta=spec.delta,
+            a_min=spec.min_inference_accuracy,
+            streams=inputs,
+        )

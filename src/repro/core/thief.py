@@ -1,0 +1,134 @@
+"""The thief resource scheduler (Algorithm 1).
+
+The thief scheduler makes the joint retraining/inference problem tractable by
+decoupling resource allocation from configuration selection.  Starting from a
+fair allocation, every job in turn plays the "thief": it steals GPU quanta Δ
+from each other job as long as doing so improves the estimated inference
+accuracy averaged over the retraining window (computed by ``PickConfigs``),
+and stops as soon as the accuracy stops improving.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional, Tuple
+
+from ..cluster.jobs import inference_job_id, retraining_job_id
+from ..cluster.resources import AllocationVector
+from ..exceptions import SchedulingError
+from .pick_configs import pick_configs
+from .types import ScheduleRequest, Scheduler, StreamDecision, WindowSchedule
+
+
+class ThiefScheduler(Scheduler):
+    """Ekya's accuracy-optimising scheduler.
+
+    Parameters
+    ----------
+    steal_quantum:
+        The stealing increment Δ.  Defaults to the request's allocation unit
+        δ; Figure 10 studies its sensitivity.
+    release_retraining_gpu_to_inference:
+        Whether the accuracy estimator assumes the retraining job's GPUs flow
+        back to the stream's inference job after the retraining completes
+        (Ekya re-invokes the scheduler at that point, so the default is True).
+    max_rounds:
+        Number of full thief/victim sweeps.  One sweep (the paper's algorithm)
+        is almost always sufficient because later thieves see the allocations
+        left by earlier ones; additional rounds are supported for ablations.
+    patience:
+        Number of consecutive non-improving steals tolerated before the thief
+        moves on to the next victim.  The paper's Algorithm 1 stops at the
+        first non-improving steal (patience = 1); a small look-ahead avoids a
+        local minimum where a retraining job needs several quanta before its
+        retraining can complete inside the window at all, so nothing improves
+        until the allocation crosses that threshold.
+    """
+
+    name = "ekya-thief"
+
+    def __init__(
+        self,
+        *,
+        steal_quantum: Optional[float] = None,
+        release_retraining_gpu_to_inference: bool = True,
+        max_rounds: int = 1,
+        patience: int = 4,
+    ) -> None:
+        if steal_quantum is not None and steal_quantum <= 0:
+            raise SchedulingError("steal_quantum must be positive")
+        if max_rounds < 1:
+            raise SchedulingError("max_rounds must be >= 1")
+        if patience < 1:
+            raise SchedulingError("patience must be >= 1")
+        self._steal_quantum = steal_quantum
+        self._release = release_retraining_gpu_to_inference
+        self._max_rounds = max_rounds
+        self._patience = patience
+
+    # ------------------------------------------------------------- interface
+    def schedule(self, request: ScheduleRequest) -> WindowSchedule:
+        started = time.perf_counter()
+        quantum = self._steal_quantum if self._steal_quantum is not None else request.delta
+        quantum = min(quantum, request.total_gpus)
+
+        job_ids = []
+        for name in request.streams:
+            job_ids.append(inference_job_id(name))
+            job_ids.append(retraining_job_id(name))
+
+        cache: Dict[Tuple[str, float, float], StreamDecision] = {}
+        best_alloc = AllocationVector.fair(job_ids, request.total_gpus, quantum=quantum)
+        best_configs, best_accuracy = self._evaluate(request, best_alloc, cache)
+        iterations = 1
+
+        for _ in range(self._max_rounds):
+            improved_in_round = False
+            for thief_job in job_ids:
+                for victim_job in job_ids:
+                    if thief_job == victim_job:
+                        continue
+                    temp_alloc = best_alloc.copy()
+                    misses = 0
+                    while True:
+                        stolen = temp_alloc.steal(thief_job, victim_job, quantum)
+                        if not stolen:
+                            break
+                        temp_configs, accuracy = self._evaluate(request, temp_alloc, cache)
+                        iterations += 1
+                        if accuracy > best_accuracy + 1e-12:
+                            best_alloc = temp_alloc.copy()
+                            best_accuracy = accuracy
+                            best_configs = temp_configs
+                            improved_in_round = True
+                            misses = 0
+                        else:
+                            misses += 1
+                            if misses >= self._patience:
+                                break
+            if not improved_in_round:
+                break
+
+        schedule = WindowSchedule(
+            window_index=request.window_index,
+            decisions=dict(best_configs),
+            estimated_average_accuracy=best_accuracy,
+            scheduler_runtime_seconds=time.perf_counter() - started,
+            iterations=iterations,
+        )
+        schedule.validate_against(request)
+        return schedule
+
+    # -------------------------------------------------------------- internal
+    def _evaluate(
+        self,
+        request: ScheduleRequest,
+        allocation: AllocationVector,
+        cache: Dict[Tuple[str, float, float], StreamDecision],
+    ) -> Tuple[Dict[str, StreamDecision], float]:
+        return pick_configs(
+            request,
+            allocation.as_dict(),
+            release_retraining_gpu_to_inference=self._release,
+            cache=cache,
+        )

@@ -1,0 +1,104 @@
+"""Training-data sampling strategies.
+
+The micro-profiler samples a small fraction of the retraining window's data
+(§4.3).  The paper reports that *uniform random* sampling is the most
+indicative of full-data performance because it preserves the data's
+distributions and variations; class-weighted sampling is also provided so the
+claim can be tested (see ``tests/unit/test_sampling.py`` and the ablation in
+``benchmarks/bench_fig11a_microprofiler_error.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..exceptions import DatasetError
+from ..utils.rng import SeedLike, ensure_rng
+
+
+def uniform_sample(
+    features: np.ndarray,
+    labels: np.ndarray,
+    fraction: float,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Uniform random sample without replacement of a labelled dataset."""
+    _validate(features, labels, fraction)
+    rng = rng if rng is not None else ensure_rng(seed)
+    count = max(1, int(round(fraction * len(labels))))
+    indices = rng.choice(len(labels), size=min(count, len(labels)), replace=False)
+    return features[indices], labels[indices]
+
+
+def class_balanced_sample(
+    features: np.ndarray,
+    labels: np.ndarray,
+    fraction: float,
+    *,
+    rng: Optional[np.random.Generator] = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sample roughly the same number of items from every present class.
+
+    Included as the alternative the paper considered and rejected for
+    micro-profiling: it distorts the class distribution, so estimates from it
+    are less indicative of full-data retraining accuracy.
+    """
+    _validate(features, labels, fraction)
+    rng = rng if rng is not None else ensure_rng(seed)
+    total = max(1, int(round(fraction * len(labels))))
+    present = np.unique(labels)
+    per_class = max(1, total // len(present))
+    chosen = []
+    for cls in present:
+        cls_indices = np.flatnonzero(labels == cls)
+        take = min(per_class, len(cls_indices))
+        chosen.append(rng.choice(cls_indices, size=take, replace=False))
+    indices = np.concatenate(chosen)
+    rng.shuffle(indices)
+    indices = indices[:total]
+    return features[indices], labels[indices]
+
+
+def holdout_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    *,
+    holdout_fraction: float = 0.25,
+    rng: Optional[np.random.Generator] = None,
+    seed: SeedLike = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Split a labelled dataset into (train, validation) parts.
+
+    The validation part is what the micro-profiler computes per-epoch
+    accuracies on before fitting the extrapolation curve.
+    """
+    _validate(features, labels, holdout_fraction)
+    if not 0.0 < holdout_fraction < 1.0:
+        raise DatasetError("holdout_fraction must be in (0, 1)")
+    rng = rng if rng is not None else ensure_rng(seed)
+    indices = rng.permutation(len(labels))
+    holdout_count = max(1, int(round(holdout_fraction * len(labels))))
+    holdout_idx = indices[:holdout_count]
+    train_idx = indices[holdout_count:]
+    if len(train_idx) == 0:
+        raise DatasetError("holdout_fraction leaves no training data")
+    return (
+        features[train_idx],
+        labels[train_idx],
+        features[holdout_idx],
+        labels[holdout_idx],
+    )
+
+
+def _validate(features: np.ndarray, labels: np.ndarray, fraction: float) -> None:
+    if len(features) != len(labels):
+        raise DatasetError("features and labels must have the same length")
+    if len(labels) == 0:
+        raise DatasetError("cannot sample from an empty dataset")
+    if not 0.0 < fraction <= 1.0:
+        raise DatasetError("fraction must be in (0, 1]")

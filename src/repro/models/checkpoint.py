@@ -1,0 +1,128 @@
+"""Model checkpointing during retraining.
+
+Ekya periodically checkpoints the model being retrained and can dynamically
+load the checkpoint as the live inference model so that inference benefits
+from retraining before it fully completes (§5).  Checkpointing has a cost —
+it briefly disrupts both jobs — so the controller weighs that cost against the
+benefit of serving a more accurate model sooner.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ..exceptions import CheckpointError
+from .mlp import MLPClassifier
+
+
+@dataclass
+class Checkpoint:
+    """A snapshot of model weights taken at a point during retraining."""
+
+    epoch: int
+    validation_accuracy: float
+    state: List = field(repr=False)
+    wall_clock_seconds: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.epoch < 0:
+            raise CheckpointError("epoch must be non-negative")
+        if not 0.0 <= self.validation_accuracy <= 1.0:
+            raise CheckpointError("validation_accuracy must be in [0, 1]")
+
+
+class CheckpointManager:
+    """Stores checkpoints of one retraining job and restores the best one.
+
+    Attributes
+    ----------
+    checkpoint_every_epochs:
+        Interval between snapshots.
+    disruption_seconds:
+        Simulated cost of taking or loading a snapshot (retraining pauses and
+        queued inference requests wait while weights are swapped).
+    """
+
+    def __init__(self, *, checkpoint_every_epochs: int = 5, disruption_seconds: float = 1.0) -> None:
+        if checkpoint_every_epochs < 1:
+            raise CheckpointError("checkpoint_every_epochs must be >= 1")
+        if disruption_seconds < 0:
+            raise CheckpointError("disruption_seconds must be non-negative")
+        self.checkpoint_every_epochs = checkpoint_every_epochs
+        self.disruption_seconds = disruption_seconds
+        self._checkpoints: List[Checkpoint] = []
+
+    # --------------------------------------------------------------- storage
+    def maybe_checkpoint(
+        self,
+        model: MLPClassifier,
+        *,
+        epoch: int,
+        validation_accuracy: float,
+        wall_clock_seconds: float = 0.0,
+    ) -> Optional[Checkpoint]:
+        """Snapshot the model if ``epoch`` is on the checkpoint interval."""
+        if epoch < 1:
+            raise CheckpointError("epoch must be >= 1 when checkpointing")
+        if epoch % self.checkpoint_every_epochs != 0:
+            return None
+        checkpoint = Checkpoint(
+            epoch=epoch,
+            validation_accuracy=validation_accuracy,
+            state=model.get_state(),
+            wall_clock_seconds=wall_clock_seconds,
+        )
+        self._checkpoints.append(checkpoint)
+        return checkpoint
+
+    @property
+    def checkpoints(self) -> List[Checkpoint]:
+        return list(self._checkpoints)
+
+    @property
+    def total_disruption_seconds(self) -> float:
+        """Aggregate retraining delay introduced by the snapshots taken so far."""
+        return self.disruption_seconds * len(self._checkpoints)
+
+    # --------------------------------------------------------------- restore
+    def best(self) -> Optional[Checkpoint]:
+        """The stored checkpoint with the highest validation accuracy."""
+        if not self._checkpoints:
+            return None
+        return max(self._checkpoints, key=lambda ckpt: ckpt.validation_accuracy)
+
+    def latest(self) -> Optional[Checkpoint]:
+        """The most recent checkpoint, if any."""
+        return self._checkpoints[-1] if self._checkpoints else None
+
+    def restore(self, model: MLPClassifier, checkpoint: Optional[Checkpoint] = None) -> Checkpoint:
+        """Load ``checkpoint`` (default: the best one) into ``model``."""
+        target = checkpoint or self.best()
+        if target is None:
+            raise CheckpointError("no checkpoints available to restore")
+        model.set_state(target.state)
+        return target
+
+    def should_reload(
+        self,
+        *,
+        current_accuracy: float,
+        remaining_window_seconds: float,
+    ) -> bool:
+        """Decide whether loading the best checkpoint pays off.
+
+        Loading is worthwhile when the best checkpoint improves on the serving
+        model's accuracy by enough that the improvement, integrated over the
+        remaining window, outweighs the disruption cost (during which the
+        stream is effectively unanalysed).
+        """
+        best = self.best()
+        if best is None or remaining_window_seconds <= 0:
+            return False
+        gain = best.validation_accuracy - current_accuracy
+        if gain <= 0:
+            return False
+        benefit = gain * remaining_window_seconds
+        cost = self.disruption_seconds * max(current_accuracy, best.validation_accuracy)
+        return benefit > cost

@@ -1,0 +1,142 @@
+"""Retraining execution on the numpy substrate.
+
+:class:`Trainer` runs one retraining configuration against one window's data,
+recording the per-epoch validation accuracy and the GPU-time consumed — the
+same "training-accuracy progression over GPU-time" trace the paper's testbed
+logs and its simulator replays (§6.1).  The trainer is used directly by the
+micro-profiler (short, subsampled runs) and by the testbed-style examples
+(full runs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..configs.retraining import RetrainingConfig
+from ..datasets.sampling import holdout_split, uniform_sample
+from ..datasets.stream import WindowData
+from ..exceptions import ModelError
+from ..utils.rng import SeedLike, ensure_rng
+from .edge_model import training_gpu_seconds
+from .mlp import MLPClassifier
+
+
+@dataclass
+class TrainingResult:
+    """Outcome of executing a retraining configuration.
+
+    Attributes
+    ----------
+    config:
+        The retraining configuration that was executed.
+    epoch_accuracies:
+        Validation accuracy measured after each completed epoch.
+    gpu_seconds:
+        Total GPU-time consumed at 100 % allocation.
+    gpu_seconds_per_epoch:
+        GPU-time of a single epoch (used by the scheduler to rescale cost for
+        other allocations / epoch counts).
+    samples_used:
+        Number of training samples actually used after applying the
+        configuration's ``data_fraction``.
+    final_accuracy:
+        Convenience accessor for the last entry of ``epoch_accuracies``.
+    """
+
+    config: RetrainingConfig
+    epoch_accuracies: List[float] = field(default_factory=list)
+    gpu_seconds: float = 0.0
+    gpu_seconds_per_epoch: float = 0.0
+    samples_used: int = 0
+
+    @property
+    def final_accuracy(self) -> float:
+        return self.epoch_accuracies[-1] if self.epoch_accuracies else 0.0
+
+    def accuracy_after(self, epochs: int) -> float:
+        """Accuracy after the first ``epochs`` epochs (clamps to the run length)."""
+        if epochs < 1 or not self.epoch_accuracies:
+            return 0.0
+        return self.epoch_accuracies[min(epochs, len(self.epoch_accuracies)) - 1]
+
+
+class Trainer:
+    """Executes retraining configurations against window data."""
+
+    def __init__(
+        self,
+        *,
+        holdout_fraction: float = 0.25,
+        seconds_per_sample_epoch: Optional[float] = None,
+        seed: SeedLike = None,
+    ) -> None:
+        if not 0.0 < holdout_fraction < 1.0:
+            raise ModelError("holdout_fraction must be in (0, 1)")
+        self._holdout_fraction = holdout_fraction
+        self._seconds_per_sample_epoch = seconds_per_sample_epoch
+        self._rng = ensure_rng(seed)
+
+    def train(
+        self,
+        model: MLPClassifier,
+        window: WindowData,
+        config: RetrainingConfig,
+        *,
+        max_epochs: Optional[int] = None,
+        data_fraction_override: Optional[float] = None,
+        validation_features: Optional[np.ndarray] = None,
+        validation_labels: Optional[np.ndarray] = None,
+        rng: Optional[np.random.Generator] = None,
+    ) -> TrainingResult:
+        """Train ``model`` in place on ``window`` using ``config``.
+
+        ``max_epochs`` and ``data_fraction_override`` support the
+        micro-profiler's early termination and data subsampling without
+        constructing a separate configuration.  If validation data is not
+        supplied, a holdout split of the (sampled) training data is used.
+        """
+        rng = rng if rng is not None else self._rng
+        fraction = data_fraction_override if data_fraction_override is not None else config.data_fraction
+        features, labels = window.subsample_training(fraction, rng=rng)
+        if validation_features is None or validation_labels is None:
+            if len(labels) >= 8:
+                features, labels, validation_features, validation_labels = holdout_split(
+                    features, labels, holdout_fraction=self._holdout_fraction, rng=rng
+                )
+            else:
+                validation_features, validation_labels = features, labels
+
+        model.set_trainable_fraction(config.layers_trained_fraction)
+        epochs = config.epochs if max_epochs is None else min(config.epochs, max_epochs)
+        if epochs < 1:
+            raise ModelError("must train for at least one epoch")
+
+        kwargs = {}
+        if self._seconds_per_sample_epoch is not None:
+            kwargs["seconds_per_sample_epoch"] = self._seconds_per_sample_epoch
+        total_gpu_seconds = training_gpu_seconds(
+            window.num_train_samples,
+            config.with_epochs(epochs).with_data_fraction(fraction),
+            **kwargs,
+        )
+        per_epoch = total_gpu_seconds / epochs
+
+        accuracies: List[float] = []
+        for _ in range(epochs):
+            model.train_epoch(features, labels, batch_size=config.batch_size, rng=rng)
+            accuracies.append(model.accuracy(validation_features, validation_labels))
+
+        return TrainingResult(
+            config=config,
+            epoch_accuracies=accuracies,
+            gpu_seconds=total_gpu_seconds,
+            gpu_seconds_per_epoch=per_epoch,
+            samples_used=len(labels),
+        )
+
+    def evaluate(self, model: MLPClassifier, window: WindowData) -> float:
+        """Inference accuracy of ``model`` on a window's held-out live data."""
+        return model.accuracy(window.eval_features, window.eval_labels)

@@ -1,0 +1,41 @@
+"""Resource–accuracy profiles, accuracy dynamics and profile storage."""
+
+from .dynamics import (
+    AnalyticDynamics,
+    StreamDynamics,
+    StreamState,
+    SubstrateDynamics,
+    config_quality,
+)
+from .profile import RetrainingEstimate, StreamWindowProfile, merge_profiles
+from .store import ProfileStore
+from .table1 import (
+    TABLE1_A_MIN,
+    TABLE1_NUM_GPUS,
+    TABLE1_START_ACCURACY,
+    TABLE1_WINDOW_SECONDS,
+    Table1Scenario,
+    table1_inference_config,
+    table1_scenario,
+    table1_start_accuracies,
+)
+
+__all__ = [
+    "AnalyticDynamics",
+    "StreamDynamics",
+    "StreamState",
+    "SubstrateDynamics",
+    "config_quality",
+    "RetrainingEstimate",
+    "StreamWindowProfile",
+    "merge_profiles",
+    "ProfileStore",
+    "TABLE1_A_MIN",
+    "TABLE1_NUM_GPUS",
+    "TABLE1_START_ACCURACY",
+    "TABLE1_WINDOW_SECONDS",
+    "Table1Scenario",
+    "table1_inference_config",
+    "table1_scenario",
+    "table1_start_accuracies",
+]

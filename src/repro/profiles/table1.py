@@ -1,0 +1,106 @@
+"""The paper's Table 1 illustrative example as ready-made profiles.
+
+Section 3.2 walks through a 3-GPU, 2-stream example with four named
+retraining configurations whose post-retraining accuracies and GPU costs are
+given in Table 1.  The uniform scheduler lands at 56 % average inference
+accuracy while the accuracy-optimised scheduler reaches 73 %.  These profiles
+let the Figure 4 benchmark and the scheduler unit tests replay that exact
+scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..configs.inference import InferenceConfig
+from ..configs.retraining import RetrainingConfig, named_table1_configs
+from .profile import RetrainingEstimate, StreamWindowProfile
+
+#: Starting inference accuracies at the beginning of window 1 (§3.2).
+TABLE1_START_ACCURACY = {"video_A": 0.65, "video_B": 0.50}
+
+#: The minimum instantaneous inference accuracy used in the example.
+TABLE1_A_MIN = 0.40
+
+#: Window duration of the example (seconds).
+TABLE1_WINDOW_SECONDS = 120.0
+
+#: Number of GPUs in the example.
+TABLE1_NUM_GPUS = 3
+
+#: (end accuracy, GPU seconds) per configuration per retraining window.
+_TABLE1_ROWS: Dict[str, Dict[str, Tuple[Tuple[float, float], Tuple[float, float]]]] = {
+    "video_A": {
+        "Cfg1A": ((0.75, 85.0), (0.95, 90.0)),
+        "Cfg2A": ((0.70, 65.0), (0.90, 40.0)),
+    },
+    "video_B": {
+        "Cfg1B": ((0.90, 80.0), (0.98, 80.0)),
+        "Cfg2B": ((0.85, 50.0), (0.90, 70.0)),
+    },
+}
+
+
+@dataclass(frozen=True)
+class Table1Scenario:
+    """Everything needed to replay the §3.2 example for one retraining window."""
+
+    window_index: int
+    profiles: Dict[str, StreamWindowProfile]
+    inference_config: InferenceConfig
+    num_gpus: int = TABLE1_NUM_GPUS
+    window_seconds: float = TABLE1_WINDOW_SECONDS
+    a_min: float = TABLE1_A_MIN
+
+    @property
+    def stream_names(self) -> List[str]:
+        return sorted(self.profiles.keys())
+
+
+def table1_inference_config() -> InferenceConfig:
+    """The (single) inference configuration of the example.
+
+    The example's inference jobs need 1 GPU to analyse every frame; with less
+    they subsample frames and accuracy drops proportionally (Figure 4c shows
+    65 % → 49 % when the allocation halves), which the
+    :class:`InferenceConfig` degradation model reproduces.
+    """
+    return InferenceConfig(frame_sampling_rate=1.0, resolution_scale=1.0, gpu_demand=1.0, name="table1")
+
+
+def table1_start_accuracies(window_index: int, *, previous_end: Dict[str, float] | None = None) -> Dict[str, float]:
+    """Starting accuracies for the given window (window 2 starts where 1 ended)."""
+    if window_index == 0 or previous_end is None:
+        return dict(TABLE1_START_ACCURACY)
+    return dict(previous_end)
+
+
+def table1_scenario(window_index: int, *, start_accuracies: Dict[str, float] | None = None) -> Table1Scenario:
+    """Build the profiles for retraining window ``window_index`` (0 or 1)."""
+    if window_index not in (0, 1):
+        raise ValueError("the Table 1 example has exactly two retraining windows (0 and 1)")
+    configs = named_table1_configs()
+    starts = table1_start_accuracies(window_index, previous_end=start_accuracies)
+    profiles: Dict[str, StreamWindowProfile] = {}
+    for stream_name, rows in _TABLE1_ROWS.items():
+        profile = StreamWindowProfile(
+            stream_name=stream_name,
+            window_index=window_index,
+            start_accuracy=starts[stream_name],
+        )
+        for config_name, per_window in rows.items():
+            accuracy, gpu_seconds = per_window[window_index]
+            profile.add(
+                RetrainingEstimate(
+                    config=configs[config_name],
+                    post_retraining_accuracy=accuracy,
+                    gpu_seconds=gpu_seconds,
+                )
+            )
+        profiles[stream_name] = profile
+    return Table1Scenario(
+        window_index=window_index,
+        profiles=profiles,
+        inference_config=table1_inference_config(),
+    )

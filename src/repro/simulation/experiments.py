@@ -1,0 +1,385 @@
+"""Experiment harness: one function per evaluation axis of the paper.
+
+The benchmark modules under ``benchmarks/`` are thin wrappers around these
+functions; keeping the logic here makes the same sweeps available to library
+users (and to the integration tests) through a documented API.
+
+Every experiment builds a *fresh* accuracy-dynamics substrate and profile
+source per policy so that policies never share mutable state, and every
+random choice is derived from the experiment seed, so the tables are
+reproducible run to run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence
+
+from ..cluster.edge_server import EdgeServer, EdgeServerSpec
+from ..cluster.network import CELLULAR_4G, CELLULAR_4G_X2, SATELLITE, NetworkLink
+from ..configs.space import ConfigurationSpace
+from ..core.baselines import (
+    UNIFORM_CONFIG_2,
+    NoRetrainingPolicy,
+    UniformPolicy,
+    standard_uniform_baselines,
+)
+from ..core.cloud import CloudRetrainingPolicy
+from ..core.controller import EkyaPolicy
+from ..core.microprofiler import OracleProfileSource
+from ..core.policy import WindowPolicy
+from ..datasets.generators import make_workload
+from ..exceptions import SimulationError
+from ..profiles.dynamics import AnalyticDynamics
+from .metrics import DEFAULT_CAPACITY_THRESHOLD, capacity, scaling_factor
+from .simulator import SimulationResult, Simulator
+
+#: Standard deviation of the oracle profiler's injected estimation error used
+#: by default so the simulated Ekya sees micro-profiler-like (≈5.8 % median
+#: absolute) estimation error rather than perfect predictions.
+DEFAULT_PROFILER_ERROR_STD = 0.05
+
+#: Policy names accepted by :func:`build_policy` / :func:`run_experiment`.
+POLICY_NAMES = (
+    "ekya",
+    "ekya_fixedres",
+    "ekya_fixedconfig",
+    "uniform_c1_50",
+    "uniform_c2_30",
+    "uniform_c2_50",
+    "uniform_c2_90",
+    "no_retraining",
+    "cloud_cellular",
+    "cloud_satellite",
+    "cloud_cellular_2x",
+)
+
+
+@dataclass
+class ExperimentSetup:
+    """A ready-to-run (streams, server spec, substrate, policy) bundle."""
+
+    dataset: str
+    num_streams: int
+    num_gpus: int
+    policy: WindowPolicy
+    server: EdgeServer
+    dynamics: AnalyticDynamics
+    config_space: ConfigurationSpace
+
+
+def make_config_space(small: bool = True) -> ConfigurationSpace:
+    """The configuration space used by the evaluation experiments.
+
+    The "small" space (default) keeps the sweeps fast while spanning the same
+    knobs; the full default grid is available for the Figure 3 profiling
+    benchmark.
+    """
+    return ConfigurationSpace.small() if small else ConfigurationSpace.default()
+
+
+def build_policy(
+    name: str,
+    profile_source: OracleProfileSource,
+    config_space: ConfigurationSpace,
+    *,
+    delta: float = 0.1,
+) -> WindowPolicy:
+    """Instantiate a policy by its canonical experiment name."""
+    if name == "ekya":
+        return EkyaPolicy(profile_source, config_space, steal_quantum=delta, name="Ekya")
+    if name == "ekya_fixedres":
+        return EkyaPolicy(
+            profile_source,
+            config_space,
+            fixed_resources=True,
+            name="Ekya-FixedRes",
+        )
+    if name == "ekya_fixedconfig":
+        return EkyaPolicy(
+            profile_source,
+            config_space,
+            steal_quantum=delta,
+            fixed_retraining_config=UNIFORM_CONFIG_2,
+            name="Ekya-FixedConfig",
+        )
+    if name.startswith("uniform_"):
+        baselines = standard_uniform_baselines(profile_source, config_space)
+        mapping = {
+            "uniform_c1_50": "uniform (Config1, 50%)",
+            "uniform_c2_30": "uniform (Config2, 30%)",
+            "uniform_c2_50": "uniform (Config2, 50%)",
+            "uniform_c2_90": "uniform (Config2, 90%)",
+        }
+        try:
+            return baselines[mapping[name]]
+        except KeyError as exc:
+            raise SimulationError(f"unknown uniform baseline {name!r}") from exc
+    if name == "no_retraining":
+        return NoRetrainingPolicy(profile_source, config_space)
+    if name.startswith("cloud_"):
+        links: Dict[str, NetworkLink] = {
+            "cloud_cellular": CELLULAR_4G,
+            "cloud_satellite": SATELLITE,
+            "cloud_cellular_2x": CELLULAR_4G_X2,
+        }
+        try:
+            return CloudRetrainingPolicy(profile_source, links[name], config_space)
+        except KeyError as exc:
+            raise SimulationError(f"unknown cloud baseline {name!r}") from exc
+    raise SimulationError(f"unknown policy {name!r}; expected one of {POLICY_NAMES}")
+
+
+def make_setup(
+    policy_name: str,
+    *,
+    dataset: str = "cityscapes",
+    num_streams: int = 10,
+    num_gpus: int = 4,
+    window_duration: float = 200.0,
+    delta: float = 0.1,
+    a_min: float = 0.4,
+    seed: int = 0,
+    profiler_error_std: float = DEFAULT_PROFILER_ERROR_STD,
+    config_space: Optional[ConfigurationSpace] = None,
+) -> ExperimentSetup:
+    """Build streams, server, substrate and policy for one experiment run."""
+    streams = make_workload(dataset, num_streams, seed=seed, window_duration=window_duration)
+    spec = EdgeServerSpec(
+        num_gpus=num_gpus,
+        delta=delta,
+        min_inference_accuracy=a_min,
+        window_duration=window_duration,
+    )
+    server = EdgeServer(spec, streams)
+    dynamics = AnalyticDynamics(seed=seed)
+    space = config_space or make_config_space()
+    profile_source = OracleProfileSource(
+        dynamics, accuracy_error_std=profiler_error_std, seed=seed + 1
+    )
+    policy = build_policy(policy_name, profile_source, space, delta=delta)
+    return ExperimentSetup(
+        dataset=dataset,
+        num_streams=num_streams,
+        num_gpus=num_gpus,
+        policy=policy,
+        server=server,
+        dynamics=dynamics,
+        config_space=space,
+    )
+
+
+def run_experiment(
+    policy_name: str,
+    *,
+    dataset: str = "cityscapes",
+    num_streams: int = 10,
+    num_gpus: int = 4,
+    num_windows: int = 8,
+    window_duration: float = 200.0,
+    delta: float = 0.1,
+    a_min: float = 0.4,
+    seed: int = 0,
+    profiler_error_std: float = DEFAULT_PROFILER_ERROR_STD,
+    config_space: Optional[ConfigurationSpace] = None,
+) -> SimulationResult:
+    """Simulate one policy on one workload; the basic unit of every benchmark."""
+    setup = make_setup(
+        policy_name,
+        dataset=dataset,
+        num_streams=num_streams,
+        num_gpus=num_gpus,
+        window_duration=window_duration,
+        delta=delta,
+        a_min=a_min,
+        seed=seed,
+        profiler_error_std=profiler_error_std,
+        config_space=config_space,
+    )
+    simulator = Simulator(setup.server, setup.dynamics, setup.policy)
+    return simulator.run(num_windows)
+
+
+def compare_policies(
+    policy_names: Sequence[str],
+    *,
+    dataset: str = "cityscapes",
+    num_streams: int = 10,
+    num_gpus: int = 4,
+    num_windows: int = 8,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, SimulationResult]:
+    """Run several policies on identical workloads and return their results."""
+    results: Dict[str, SimulationResult] = {}
+    for name in policy_names:
+        result = run_experiment(
+            name,
+            dataset=dataset,
+            num_streams=num_streams,
+            num_gpus=num_gpus,
+            num_windows=num_windows,
+            seed=seed,
+            **kwargs,
+        )
+        results[result.policy_name] = result
+    return results
+
+
+def accuracy_vs_streams(
+    policy_names: Sequence[str],
+    stream_counts: Sequence[int],
+    *,
+    dataset: str = "cityscapes",
+    num_gpus: int = 1,
+    num_windows: int = 6,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, Dict[int, float]]:
+    """Figure 6: mean accuracy as the number of concurrent streams grows."""
+    table: Dict[str, Dict[int, float]] = {}
+    for policy_name in policy_names:
+        row: Dict[int, float] = {}
+        for count in stream_counts:
+            result = run_experiment(
+                policy_name,
+                dataset=dataset,
+                num_streams=count,
+                num_gpus=num_gpus,
+                num_windows=num_windows,
+                seed=seed,
+                **kwargs,
+            )
+            row[count] = result.mean_accuracy
+            label = result.policy_name
+        table[label] = row
+    return table
+
+
+def accuracy_vs_gpus(
+    policy_names: Sequence[str],
+    gpu_counts: Sequence[int],
+    *,
+    dataset: str = "cityscapes",
+    num_streams: int = 10,
+    num_windows: int = 6,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, Dict[int, float]]:
+    """Figure 7: mean accuracy as the number of provisioned GPUs grows."""
+    table: Dict[str, Dict[int, float]] = {}
+    for policy_name in policy_names:
+        row: Dict[int, float] = {}
+        label = policy_name
+        for gpus in gpu_counts:
+            result = run_experiment(
+                policy_name,
+                dataset=dataset,
+                num_streams=num_streams,
+                num_gpus=gpus,
+                num_windows=num_windows,
+                seed=seed,
+                **kwargs,
+            )
+            row[gpus] = result.mean_accuracy
+            label = result.policy_name
+        table[label] = row
+    return table
+
+
+def capacity_table(
+    policy_names: Sequence[str],
+    *,
+    gpu_counts: Sequence[int] = (1, 2),
+    stream_counts: Sequence[int] = (2, 4, 6, 8),
+    dataset: str = "cityscapes",
+    threshold: float = DEFAULT_CAPACITY_THRESHOLD,
+    num_windows: int = 6,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[str, Dict[str, object]]:
+    """Table 3: per-policy capacity at each GPU count plus the scaling factor."""
+    table: Dict[str, Dict[str, object]] = {}
+    for policy_name in policy_names:
+        capacities: Dict[int, int] = {}
+        label = policy_name
+        for gpus in gpu_counts:
+            accuracy_by_count: Dict[int, float] = {}
+            for count in stream_counts:
+                result = run_experiment(
+                    policy_name,
+                    dataset=dataset,
+                    num_streams=count,
+                    num_gpus=gpus,
+                    num_windows=num_windows,
+                    seed=seed,
+                    **kwargs,
+                )
+                accuracy_by_count[count] = result.mean_accuracy
+                label = result.policy_name
+            capacities[gpus] = capacity(accuracy_by_count, threshold=threshold)
+        table[label] = {
+            "capacity_by_gpus": capacities,
+            "scaling_factor": scaling_factor(capacities),
+        }
+    return table
+
+
+def delta_sensitivity(
+    deltas: Sequence[float],
+    *,
+    dataset: str = "cityscapes",
+    num_streams: int = 10,
+    num_gpus: int = 4,
+    num_windows: int = 4,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[float, Dict[str, float]]:
+    """Figure 10: accuracy and scheduler runtime versus the stealing quantum Δ."""
+    results: Dict[float, Dict[str, float]] = {}
+    for delta in deltas:
+        result = run_experiment(
+            "ekya",
+            dataset=dataset,
+            num_streams=num_streams,
+            num_gpus=num_gpus,
+            num_windows=num_windows,
+            delta=delta,
+            seed=seed,
+            **kwargs,
+        )
+        results[delta] = {
+            "accuracy": result.mean_accuracy,
+            "scheduler_runtime_seconds": result.mean_scheduler_runtime,
+        }
+    return results
+
+
+def error_sensitivity(
+    error_levels: Sequence[float],
+    *,
+    dataset: str = "cityscapes",
+    num_streams: int = 10,
+    gpu_counts: Sequence[int] = (1, 2, 4, 8),
+    num_windows: int = 5,
+    seed: int = 0,
+    **kwargs,
+) -> Dict[float, Dict[int, float]]:
+    """Figure 11b: Ekya's accuracy under controlled profiler estimation error."""
+    table: Dict[float, Dict[int, float]] = {}
+    for error in error_levels:
+        row: Dict[int, float] = {}
+        for gpus in gpu_counts:
+            result = run_experiment(
+                "ekya",
+                dataset=dataset,
+                num_streams=num_streams,
+                num_gpus=gpus,
+                num_windows=num_windows,
+                seed=seed,
+                profiler_error_std=error,
+                **kwargs,
+            )
+            row[gpus] = result.mean_accuracy
+        table[error] = row
+    return table

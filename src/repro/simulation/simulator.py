@@ -1,0 +1,244 @@
+"""Trace-driven simulator of joint retraining and inference.
+
+The simulator plays the role of the paper's trace-driven simulator (§6.1): it
+executes a :class:`~repro.core.policy.WindowPolicy` window by window against
+an accuracy-dynamics substrate, computes every stream's *realised* inference
+accuracy over each window (stale model while retraining, retrained model
+afterwards, degraded by the chosen inference configuration and allocation),
+advances the per-stream model state, and aggregates the metric the paper
+optimises — inference accuracy averaged over retraining windows and streams.
+
+Importantly, the realised accuracy uses the dynamics' true values, not the
+profiler's estimates, so estimation error shows up as mis-scheduling (exactly
+how it hurts the real system), not as mis-measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..cluster.edge_server import EdgeServer, EdgeServerSpec
+from ..cluster.placement import place_jobs
+from ..core.estimator import estimate_stream_average_accuracy
+from ..core.policy import WindowPolicy
+from ..core.types import StreamDecision, WindowSchedule
+from ..datasets.stream import VideoStream
+from ..exceptions import SimulationError
+from ..profiles.dynamics import StreamDynamics
+from ..utils.math_utils import safe_mean
+
+
+@dataclass
+class StreamWindowOutcome:
+    """Realised result for one stream in one retraining window."""
+
+    stream_name: str
+    window_index: int
+    decision: StreamDecision
+    start_accuracy: float
+    post_retraining_accuracy: Optional[float]
+    realized_average_accuracy: float
+    accuracy_during_retraining: float
+    accuracy_after_retraining: float
+    retraining_duration: float
+    retraining_completed: bool
+    minimum_instantaneous_accuracy: float
+
+    @property
+    def timeline(self) -> List[Tuple[float, float]]:
+        """Piecewise-constant (duration, accuracy) segments of this window."""
+        if not self.retraining_completed or self.retraining_duration <= 0:
+            return [(self.decision_window_seconds, self.accuracy_during_retraining)]
+        return [
+            (self.retraining_duration, self.accuracy_during_retraining),
+            (
+                max(0.0, self.decision_window_seconds - self.retraining_duration),
+                self.accuracy_after_retraining,
+            ),
+        ]
+
+    # Filled in by the simulator; kept out of __init__ for brevity.
+    decision_window_seconds: float = 0.0
+
+
+@dataclass
+class WindowResult:
+    """All streams' outcomes plus the schedule for one window."""
+
+    window_index: int
+    schedule: WindowSchedule
+    outcomes: Dict[str, StreamWindowOutcome] = field(default_factory=dict)
+
+    @property
+    def mean_accuracy(self) -> float:
+        return safe_mean([o.realized_average_accuracy for o in self.outcomes.values()])
+
+    @property
+    def num_retrained(self) -> int:
+        return sum(1 for o in self.outcomes.values() if o.retraining_completed)
+
+
+@dataclass
+class SimulationResult:
+    """Aggregate outcome of a multi-window simulation run."""
+
+    policy_name: str
+    num_gpus: int
+    windows: List[WindowResult] = field(default_factory=list)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """The paper's headline metric: accuracy averaged over windows and streams."""
+        return safe_mean([w.mean_accuracy for w in self.windows])
+
+    @property
+    def per_stream_accuracy(self) -> Dict[str, float]:
+        totals: Dict[str, List[float]] = {}
+        for window in self.windows:
+            for name, outcome in window.outcomes.items():
+                totals.setdefault(name, []).append(outcome.realized_average_accuracy)
+        return {name: safe_mean(values) for name, values in totals.items()}
+
+    @property
+    def mean_scheduler_runtime(self) -> float:
+        return safe_mean([w.schedule.scheduler_runtime_seconds for w in self.windows])
+
+    @property
+    def total_retrainings(self) -> int:
+        return sum(w.num_retrained for w in self.windows)
+
+    def minimum_instantaneous_accuracy(self) -> float:
+        """Lowest instantaneous accuracy observed anywhere in the run."""
+        values = [
+            outcome.minimum_instantaneous_accuracy
+            for window in self.windows
+            for outcome in window.outcomes.values()
+        ]
+        return min(values) if values else 0.0
+
+    def allocation_timeline(self, stream_name: str) -> List[Dict[str, float]]:
+        """Per-window inference/retraining allocations for one stream (Figure 9)."""
+        timeline = []
+        for window in self.windows:
+            outcome = window.outcomes.get(stream_name)
+            if outcome is None:
+                continue
+            timeline.append(
+                {
+                    "window_index": window.window_index,
+                    "inference_gpu": outcome.decision.inference_gpu,
+                    "retraining_gpu": outcome.decision.retraining_gpu,
+                    "retrained": float(outcome.retraining_completed),
+                    "accuracy": outcome.realized_average_accuracy,
+                }
+            )
+        return timeline
+
+
+class Simulator:
+    """Executes a window policy against an accuracy-dynamics substrate."""
+
+    def __init__(
+        self,
+        server: EdgeServer,
+        dynamics: StreamDynamics,
+        policy: WindowPolicy,
+        *,
+        verify_placement: bool = True,
+    ) -> None:
+        self._server = server
+        self._dynamics = dynamics
+        self._policy = policy
+        self._verify_placement = verify_placement
+
+    @property
+    def server(self) -> EdgeServer:
+        return self._server
+
+    @property
+    def policy(self) -> WindowPolicy:
+        return self._policy
+
+    @property
+    def dynamics(self) -> StreamDynamics:
+        return self._dynamics
+
+    # -------------------------------------------------------------- execution
+    def run(self, num_windows: int, *, start_window: int = 0) -> SimulationResult:
+        """Simulate ``num_windows`` consecutive retraining windows."""
+        if num_windows < 1:
+            raise SimulationError("num_windows must be >= 1")
+        if start_window < 0:
+            raise SimulationError("start_window must be non-negative")
+        result = SimulationResult(
+            policy_name=self._policy.name, num_gpus=self._server.spec.num_gpus
+        )
+        for window_index in range(start_window, start_window + num_windows):
+            result.windows.append(self.run_window(window_index))
+        return result
+
+    def run_window(self, window_index: int) -> WindowResult:
+        """Plan and execute a single retraining window."""
+        spec = self._server.spec
+        streams = self._server.streams
+        schedule = self._policy.plan_window(streams, window_index, spec)
+        if self._verify_placement:
+            # The schedule must be physically placeable onto the GPUs after
+            # quantisation; raises PlacementError otherwise.
+            place_jobs(schedule.allocation_map(), self._server.fleet)
+
+        window_result = WindowResult(window_index=window_index, schedule=schedule)
+        for stream in streams:
+            decision = schedule.decision_for(stream.name)
+            outcome = self._execute_stream(stream, window_index, decision, spec)
+            window_result.outcomes[stream.name] = outcome
+            completed_config = (
+                decision.retraining_config if outcome.retraining_completed else None
+            )
+            self._dynamics.commit_window(stream, window_index, completed_config)
+        return window_result
+
+    # --------------------------------------------------------------- internal
+    def _execute_stream(
+        self,
+        stream: VideoStream,
+        window_index: int,
+        decision: StreamDecision,
+        spec: EdgeServerSpec,
+    ) -> StreamWindowOutcome:
+        start_accuracy = self._dynamics.start_accuracy(stream, window_index)
+        post_accuracy: Optional[float] = None
+        gpu_seconds = 0.0
+        if decision.retraining_config is not None and decision.retrains:
+            post_accuracy = self._dynamics.candidate_post_accuracy(
+                stream, window_index, decision.retraining_config
+            )
+            gpu_seconds = self._dynamics.retraining_gpu_seconds(
+                stream, window_index, decision.retraining_config
+            )
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=start_accuracy,
+            post_retraining_accuracy=post_accuracy,
+            retraining_gpu_seconds=gpu_seconds,
+            inference_config=decision.inference_config,
+            inference_gpu=decision.inference_gpu,
+            retraining_gpu=decision.retraining_gpu,
+            window_seconds=spec.window_duration,
+            external_retraining_duration=decision.external_completion_seconds,
+        )
+        outcome = StreamWindowOutcome(
+            stream_name=stream.name,
+            window_index=window_index,
+            decision=decision,
+            start_accuracy=start_accuracy,
+            post_retraining_accuracy=post_accuracy,
+            realized_average_accuracy=estimate.average_accuracy,
+            accuracy_during_retraining=estimate.accuracy_during_retraining,
+            accuracy_after_retraining=estimate.accuracy_after_retraining,
+            retraining_duration=estimate.retraining_duration,
+            retraining_completed=estimate.retraining_completes,
+            minimum_instantaneous_accuracy=estimate.minimum_instantaneous_accuracy,
+        )
+        outcome.decision_window_seconds = spec.window_duration
+        return outcome

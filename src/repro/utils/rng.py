@@ -1,0 +1,55 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (workload generators, the training
+substrate, noise injection in evaluation) accepts either a seed or a
+:class:`numpy.random.Generator`.  Centralising the conversion here keeps the
+experiments reproducible: the same seed always regenerates the same synthetic
+"videos", the same training noise and therefore the same benchmark tables.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    ``seed`` may be ``None`` (fresh entropy), an integer, a
+    :class:`numpy.random.SeedSequence` or an existing generator (returned
+    unchanged, so state is shared with the caller).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rng(rng: np.random.Generator, *, jump: int = 1) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used by workload generators to give each camera stream its own stream of
+    randomness so that adding a stream does not perturb the others.
+    """
+    if jump < 1:
+        raise ValueError("jump must be >= 1")
+    seeds = rng.integers(0, 2**63 - 1, size=jump)
+    return np.random.default_rng(int(seeds[-1]))
+
+
+def stable_seed(*parts: object, base: int = 0) -> int:
+    """Derive a stable 63-bit seed from arbitrary hashable parts.
+
+    Unlike Python's built-in ``hash`` this does not depend on
+    ``PYTHONHASHSEED``: the string representation of the parts is folded with
+    a simple FNV-1a style mix, which is stable across processes.
+    """
+    acc = 0xCBF29CE484222325 ^ (base & 0xFFFFFFFFFFFFFFFF)
+    for part in parts:
+        for byte in repr(part).encode("utf-8"):
+            acc ^= byte
+            acc = (acc * 0x100000001B3) & 0xFFFFFFFFFFFFFFFF
+    return acc & 0x7FFFFFFFFFFFFFFF

@@ -1,0 +1,84 @@
+"""Shared pytest fixtures for the Ekya reproduction test suite."""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+# Allow running the tests straight from a source checkout (without an
+# editable install) by putting ``src`` on the path.
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+import pytest
+
+from repro.cluster import EdgeServer, EdgeServerSpec
+from repro.configs import ConfigurationSpace, InferenceConfig, RetrainingConfig
+from repro.core import OracleProfileSource
+from repro.datasets import DriftProfile, VideoStream, make_workload
+from repro.models import EdgeModelSpec, create_edge_model
+from repro.profiles import AnalyticDynamics
+
+
+@pytest.fixture()
+def small_stream() -> VideoStream:
+    """A compact deterministic stream for unit tests."""
+    return VideoStream(
+        name="test-stream",
+        drift_profile=DriftProfile(distribution_volatility=0.3, appearance_volatility=0.2),
+        samples_per_window=120,
+        eval_samples_per_window=80,
+        seed=7,
+    )
+
+
+@pytest.fixture()
+def cityscapes_pair():
+    """Two cityscapes-like streams sharing a seed."""
+    return make_workload("cityscapes", 2, seed=11, samples_per_window=150, eval_samples_per_window=100)
+
+
+@pytest.fixture()
+def small_config_space() -> ConfigurationSpace:
+    return ConfigurationSpace.small()
+
+
+@pytest.fixture()
+def tiny_retraining_config() -> RetrainingConfig:
+    return RetrainingConfig(epochs=5, data_fraction=0.5, layers_trained_fraction=0.5)
+
+
+@pytest.fixture()
+def full_retraining_config() -> RetrainingConfig:
+    return RetrainingConfig(epochs=30, data_fraction=1.0, layers_trained_fraction=1.0)
+
+
+@pytest.fixture()
+def default_inference_config() -> InferenceConfig:
+    return InferenceConfig(frame_sampling_rate=1.0, resolution_scale=1.0)
+
+
+@pytest.fixture()
+def analytic_dynamics() -> AnalyticDynamics:
+    return AnalyticDynamics(seed=3)
+
+
+@pytest.fixture()
+def oracle_source(analytic_dynamics) -> OracleProfileSource:
+    return OracleProfileSource(analytic_dynamics, accuracy_error_std=0.0, seed=5)
+
+
+@pytest.fixture()
+def small_server(cityscapes_pair) -> EdgeServer:
+    spec = EdgeServerSpec(num_gpus=1, delta=0.1, window_duration=200.0)
+    return EdgeServer(spec, cityscapes_pair)
+
+
+@pytest.fixture()
+def edge_model(small_stream):
+    spec = EdgeModelSpec(
+        feature_dim=small_stream.feature_dim,
+        num_classes=small_stream.taxonomy.num_classes,
+    )
+    return create_edge_model(spec, seed=1)

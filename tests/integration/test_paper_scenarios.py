@@ -1,0 +1,159 @@
+"""Integration tests that replay specific scenarios from the paper.
+
+* The §3.2 / Table 1 / Figure 4 illustrative example (uniform ≈ 56 %,
+  accuracy-optimised ≈ 73 %, a_MIN = 40 %).
+* Figure 2-style continuous-learning benefit on the real training substrate.
+* Figure 11a-style micro-profiler error measurement.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cluster import inference_job_id, retraining_job_id
+from repro.configs import ConfigurationSpace, RetrainingConfig, default_retraining_grid
+from repro.core import (
+    MicroProfiler,
+    MicroProfilerSettings,
+    ScheduleRequest,
+    StreamWindowInput,
+    ThiefScheduler,
+    pick_configs,
+)
+from repro.datasets import make_stream
+from repro.models import EdgeModelSpec, ExemplarReplayLearner, Trainer, create_edge_model
+from repro.profiles import table1_scenario
+
+
+def _request_from_scenario(scenario, delta=0.25):
+    streams = {
+        name: StreamWindowInput(
+            stream_name=name,
+            profile=profile,
+            inference_configs=[scenario.inference_config],
+        )
+        for name, profile in scenario.profiles.items()
+    }
+    return ScheduleRequest(
+        window_index=scenario.window_index,
+        window_seconds=scenario.window_seconds,
+        total_gpus=float(scenario.num_gpus),
+        delta=delta,
+        a_min=scenario.a_min,
+        streams=streams,
+    )
+
+
+class TestTable1IllustrativeExample:
+    def _uniform_accuracy(self, request, scenario):
+        allocation = {}
+        for name in scenario.profiles:
+            allocation[inference_job_id(name)] = 0.75
+            allocation[retraining_job_id(name)] = 0.75
+        decisions, accuracy = pick_configs(request, allocation)
+        return accuracy
+
+    def test_window1_thief_beats_uniform_by_wide_margin(self):
+        scenario = table1_scenario(0)
+        request = _request_from_scenario(scenario)
+        thief = ThiefScheduler(steal_quantum=0.25).schedule(request)
+        uniform = self._uniform_accuracy(request, scenario)
+        # Paper: 73% vs 56% over both windows; on window 1 alone the gap is
+        # smaller but must be clearly positive.
+        assert thief.estimated_average_accuracy - uniform > 0.05
+
+    def test_two_window_average_close_to_paper(self):
+        # Chain the two windows: the second window starts from the accuracy
+        # each stream reached at the end of the first.
+        accuracies = []
+        start = None
+        for window_index in range(2):
+            scenario = table1_scenario(window_index, start_accuracies=start)
+            request = _request_from_scenario(scenario)
+            schedule = ThiefScheduler(steal_quantum=0.25).schedule(request)
+            accuracies.append(schedule.estimated_average_accuracy)
+            start = {}
+            for name, decision in schedule.decisions.items():
+                profile = scenario.profiles[name]
+                if decision.retraining_config is not None:
+                    start[name] = profile.estimate_for(
+                        decision.retraining_config
+                    ).post_retraining_accuracy
+                else:
+                    start[name] = profile.start_accuracy
+        two_window_average = float(np.mean(accuracies))
+        # Paper's accuracy-optimised scheduler averages 73%; ours should land
+        # in the same neighbourhood (well above the uniform 56%).
+        assert two_window_average > 0.65
+
+    def test_a_min_respected_in_example(self):
+        scenario = table1_scenario(0)
+        request = _request_from_scenario(scenario)
+        schedule = ThiefScheduler(steal_quantum=0.25).schedule(request)
+        # Instantaneous accuracy never below 40% in the paper's example.
+        for name, decision in schedule.decisions.items():
+            profile = scenario.profiles[name]
+            factor = decision.inference_config.effective_accuracy_factor(decision.inference_gpu)
+            assert profile.start_accuracy * factor >= scenario.a_min - 0.05
+
+
+class TestContinuousLearningBenefit:
+    """Figure 2b: continuous retraining beats a train-once model."""
+
+    def test_retrained_model_tracks_drift(self):
+        stream = make_stream(
+            "cityscapes", 0, seed=13, samples_per_window=150, eval_samples_per_window=100
+        )
+        spec = EdgeModelSpec(feature_dim=stream.feature_dim, num_classes=stream.taxonomy.num_classes)
+        trainer = Trainer(seed=13)
+        config = RetrainingConfig(epochs=15)
+
+        # Train-once model: fit on window 0 and never update.
+        static_model = create_edge_model(spec, seed=13)
+        trainer.train(static_model, stream.window(0), config)
+
+        # Continuously retrained model.
+        continual_model = create_edge_model(spec, seed=13)
+        trainer.train(continual_model, stream.window(0), config)
+        learner = ExemplarReplayLearner(continual_model, seed=13)
+
+        static_accuracies = []
+        continual_accuracies = []
+        for window_index in range(1, 7):
+            window = stream.window(window_index)
+            static_accuracies.append(trainer.evaluate(static_model, window))
+            learner.retrain(window, config)
+            continual_accuracies.append(learner.evaluate(window))
+
+        assert float(np.mean(continual_accuracies)) > float(np.mean(static_accuracies))
+        # Later windows should show a clear gap as drift accumulates.
+        assert continual_accuracies[-1] > static_accuracies[-1]
+
+
+class TestMicroProfilerAccuracy:
+    """Figure 11a: micro-profiled estimates are close to ground truth."""
+
+    def test_median_estimation_error_is_small(self):
+        stream = make_stream(
+            "cityscapes", 1, seed=21, samples_per_window=200, eval_samples_per_window=120
+        )
+        spec = EdgeModelSpec(feature_dim=stream.feature_dim, num_classes=stream.taxonomy.num_classes)
+        model = create_edge_model(spec, seed=21)
+        trainer = Trainer(seed=21)
+        trainer.train(model, stream.window(0), RetrainingConfig(epochs=10))
+
+        profiler = MicroProfiler(
+            MicroProfilerSettings(data_fraction=0.2, profiling_epochs=5), seed=21
+        )
+        configs = default_retraining_grid(
+            epochs=(5, 15, 30), layers_trained=(0.5, 1.0), data_fractions=(0.5, 1.0)
+        )
+        window = stream.window(1)
+        errors = []
+        for config in configs:
+            estimated = profiler.profile_config(model, window, config).post_retraining_accuracy
+            truth = profiler.exhaustive_profile_config(model, window, config).post_retraining_accuracy
+            errors.append(abs(estimated - truth))
+        median_error = float(np.median(errors))
+        # Paper reports 5.8% median absolute error; allow headroom for the
+        # small substrate, but it must stay clearly useful (< 15%).
+        assert median_error < 0.15

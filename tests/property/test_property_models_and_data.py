@@ -1,0 +1,98 @@
+"""Property-based tests for the training substrate and workload generators."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.configs import RetrainingConfig
+from repro.datasets import ClassTaxonomy, DriftProfile, FeatureSpaceSpec, FeatureSynthesizer, GoldenModel
+from repro.models import MLPClassifier, training_gpu_seconds
+from repro.profiles import config_quality
+
+
+class TestMLPProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.integers(min_value=2, max_value=5),
+        st.integers(min_value=1, max_value=40),
+    )
+    def test_predictions_are_valid_classes(self, feature_dim, num_classes, batch):
+        model = MLPClassifier(feature_dim, num_classes, hidden_sizes=(8,), seed=0)
+        features = np.random.default_rng(0).normal(size=(batch, feature_dim))
+        predictions = model.predict(features)
+        assert predictions.shape == (batch,)
+        assert np.all((predictions >= 0) & (predictions < num_classes))
+        probabilities = model.predict_proba(features)
+        assert np.allclose(probabilities.sum(axis=1), 1.0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.floats(min_value=0.01, max_value=1.0))
+    def test_trainable_fraction_keeps_head_trainable(self, fraction):
+        model = MLPClassifier(6, 4, hidden_sizes=(8, 8), seed=0)
+        trainable = model.set_trainable_fraction(fraction)
+        assert 1 <= trainable <= model.num_layers
+        assert not model.layers[-1].frozen
+
+
+class TestCostModelProperties:
+    config_strategy = st.builds(
+        RetrainingConfig,
+        epochs=st.integers(min_value=1, max_value=60),
+        batch_size=st.sampled_from([8, 16, 32]),
+        last_layer_neurons=st.sampled_from([32, 64, 128]),
+        layers_trained_fraction=st.floats(min_value=0.1, max_value=1.0),
+        data_fraction=st.floats(min_value=0.1, max_value=1.0),
+    )
+
+    @given(config_strategy, st.integers(min_value=1, max_value=2000))
+    def test_training_cost_positive_and_monotone_in_epochs(self, config, samples):
+        cost = training_gpu_seconds(samples, config)
+        assert cost > 0
+        more_epochs = training_gpu_seconds(samples, config.with_epochs(config.epochs + 10))
+        assert more_epochs > cost
+
+    @given(config_strategy)
+    def test_config_quality_in_unit_interval(self, config):
+        quality = config_quality(config)
+        assert 0.0 < quality <= 1.0
+
+    @given(config_strategy)
+    def test_relative_cost_positive(self, config):
+        assert config.relative_cost() > 0
+
+
+class TestWorkloadProperties:
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=0.5),
+        st.integers(min_value=0, max_value=10),
+    )
+    def test_distributions_always_valid(self, dist_vol, app_vol, window):
+        from repro.datasets import ClassDistributionDrift
+
+        drift = ClassDistributionDrift(
+            ClassTaxonomy(),
+            DriftProfile(distribution_volatility=dist_vol, appearance_volatility=app_vol),
+            seed=3,
+        )
+        distribution = drift.distribution_for_window(window)
+        assert abs(distribution.sum() - 1.0) < 1e-9
+        assert np.all(distribution >= 0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=200), st.floats(min_value=0.0, max_value=0.5))
+    def test_golden_model_noise_rate_close_to_requested(self, num_samples, error_rate):
+        golden = GoldenModel(error_rate=error_rate, seed=0)
+        labels = np.zeros(num_samples, dtype=np.int64)
+        _, realised = golden.label(labels, num_classes=6)
+        assert 0.0 <= realised <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=1, max_value=100))
+    def test_feature_synthesizer_shapes(self, num_samples):
+        synthesizer = FeatureSynthesizer(ClassTaxonomy(), FeatureSpaceSpec(feature_dim=8), seed=0)
+        features, labels = synthesizer.sample(num_samples, np.full(6, 1 / 6))
+        assert features.shape == (num_samples, 8)
+        assert labels.shape == (num_samples,)

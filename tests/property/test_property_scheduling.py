@@ -1,0 +1,180 @@
+"""Property-based tests for allocation, placement, estimation and the thief."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import AllocationVector, GPUFleet, place_jobs
+from repro.configs import InferenceConfig, RetrainingConfig
+from repro.core import (
+    ScheduleRequest,
+    StreamWindowInput,
+    ThiefScheduler,
+    estimate_stream_average_accuracy,
+)
+from repro.profiles import RetrainingEstimate, StreamWindowProfile
+
+unit = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+gpu_fraction = st.floats(min_value=0.0, max_value=4.0, allow_nan=False)
+positive_cost = st.floats(min_value=0.1, max_value=500.0, allow_nan=False)
+
+
+class TestAllocationVectorProperties:
+    @given(
+        st.integers(min_value=1, max_value=8),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), max_size=30),
+    )
+    def test_steals_preserve_total_and_nonnegativity(self, num_jobs, total_gpus, steals):
+        jobs = [f"job-{i}" for i in range(num_jobs)]
+        vector = AllocationVector.fair(jobs, total_gpus, quantum=0.1)
+        initial_total = vector.total_allocated
+        for thief_idx, victim_idx in steals:
+            thief = jobs[thief_idx % num_jobs]
+            victim = jobs[victim_idx % num_jobs]
+            if thief == victim:
+                continue
+            vector.steal(thief, victim, 0.1)
+        vector.validate()
+        assert abs(vector.total_allocated - initial_total) < 1e-6
+        assert all(v >= -1e-9 for v in vector.as_dict().values())
+
+
+class TestPlacementProperties:
+    @settings(max_examples=50)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.0, max_value=1.5), min_size=1, max_size=8),
+    )
+    def test_placement_never_exceeds_gpu_capacity(self, num_gpus, demands):
+        total_quantised_bound = sum(demands)
+        if total_quantised_bound > num_gpus:
+            # Scale demands down so the (pre-quantisation) total fits.
+            demands = [d * num_gpus / (total_quantised_bound + 1e-9) for d in demands]
+        fleet = GPUFleet(num_gpus)
+        requested = {f"job-{i}": demand for i, demand in enumerate(demands)}
+        placement = place_jobs(requested, fleet)
+        for gpu in fleet.gpus:
+            assert gpu.allocated <= gpu.capacity + 1e-9
+        for job, demand in requested.items():
+            # Quantisation always rounds down, so placements never exceed the
+            # requested fraction.
+            assert placement.total_for(job) <= demand + 1e-9
+
+
+class TestEstimatorProperties:
+    @settings(max_examples=100)
+    @given(unit, unit, positive_cost, gpu_fraction, gpu_fraction)
+    def test_average_accuracy_bounded_by_phases(self, start, post, cost, inference_gpu, retraining_gpu):
+        config = InferenceConfig(frame_sampling_rate=1.0, gpu_demand=0.25)
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=start,
+            post_retraining_accuracy=post,
+            retraining_gpu_seconds=cost,
+            inference_config=config,
+            inference_gpu=inference_gpu,
+            retraining_gpu=retraining_gpu,
+            window_seconds=200.0,
+        )
+        assert 0.0 <= estimate.average_accuracy <= 1.0
+        low = min(estimate.accuracy_during_retraining, estimate.accuracy_after_retraining)
+        high = max(estimate.accuracy_during_retraining, estimate.accuracy_after_retraining)
+        assert low - 1e-9 <= estimate.average_accuracy <= high + 1e-9
+
+    @settings(max_examples=100)
+    @given(unit, positive_cost, gpu_fraction)
+    def test_more_inference_gpu_never_hurts(self, start, cost, inference_gpu):
+        config = InferenceConfig(frame_sampling_rate=1.0, gpu_demand=0.5)
+        smaller = estimate_stream_average_accuracy(
+            start_accuracy=start,
+            post_retraining_accuracy=None,
+            retraining_gpu_seconds=cost,
+            inference_config=config,
+            inference_gpu=inference_gpu,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+        )
+        larger = estimate_stream_average_accuracy(
+            start_accuracy=start,
+            post_retraining_accuracy=None,
+            retraining_gpu_seconds=cost,
+            inference_config=config,
+            inference_gpu=inference_gpu + 0.1,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+        )
+        assert larger.average_accuracy >= smaller.average_accuracy - 1e-9
+
+
+def _stream_input(name, start, post, cost):
+    profile = StreamWindowProfile(stream_name=name, window_index=0, start_accuracy=start)
+    profile.add(
+        RetrainingEstimate(
+            config=RetrainingConfig(epochs=15),
+            post_retraining_accuracy=post,
+            gpu_seconds=cost,
+        )
+    )
+    inference_configs = [
+        InferenceConfig(frame_sampling_rate=1.0, gpu_demand=0.25),
+        InferenceConfig(frame_sampling_rate=0.5, gpu_demand=0.1),
+        InferenceConfig(frame_sampling_rate=0.25, resolution_scale=0.5, gpu_demand=0.03),
+    ]
+    return StreamWindowInput(stream_name=name, profile=profile, inference_configs=inference_configs)
+
+
+class TestThiefProperties:
+    stream_spec = st.tuples(unit, unit, st.floats(min_value=5.0, max_value=150.0))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(stream_spec, min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_schedule_always_respects_capacity(self, stream_specs, num_gpus):
+        streams = {
+            f"cam-{i}": _stream_input(f"cam-{i}", start, post, cost)
+            for i, (start, post, cost) in enumerate(stream_specs)
+        }
+        request = ScheduleRequest(
+            window_index=0,
+            window_seconds=200.0,
+            total_gpus=float(num_gpus),
+            delta=0.25,
+            a_min=0.3,
+            streams=streams,
+        )
+        schedule = ThiefScheduler(steal_quantum=0.25).schedule(request)
+        schedule.validate_against(request)
+        assert schedule.total_gpu_allocated <= num_gpus + 1e-6
+        assert set(schedule.decisions) == set(streams)
+        for decision in schedule.decisions.values():
+            assert decision.inference_gpu >= -1e-9
+            assert decision.retraining_gpu >= -1e-9
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(stream_spec, min_size=1, max_size=4))
+    def test_estimated_accuracy_at_least_fair_no_retraining(self, stream_specs):
+        """The thief never does worse than its own fair starting point."""
+        from repro.cluster import inference_job_id, retraining_job_id
+        from repro.core import pick_configs
+
+        streams = {
+            f"cam-{i}": _stream_input(f"cam-{i}", start, post, cost)
+            for i, (start, post, cost) in enumerate(stream_specs)
+        }
+        request = ScheduleRequest(
+            window_index=0,
+            window_seconds=200.0,
+            total_gpus=2.0,
+            delta=0.25,
+            a_min=0.3,
+            streams=streams,
+        )
+        fair_allocation = {}
+        share = 2.0 / (2 * len(streams))
+        for name in streams:
+            fair_allocation[inference_job_id(name)] = share
+            fair_allocation[retraining_job_id(name)] = share
+        _, fair_accuracy = pick_configs(request, fair_allocation)
+        schedule = ThiefScheduler(steal_quantum=0.25).schedule(request)
+        assert schedule.estimated_average_accuracy >= fair_accuracy - 1e-9

@@ -1,0 +1,326 @@
+"""Unit tests for the window-average accuracy estimator and PickConfigs."""
+
+import pytest
+
+from repro.configs import InferenceConfig, RetrainingConfig
+from repro.core import (
+    ScheduleRequest,
+    StreamWindowInput,
+    estimate_stream_average_accuracy,
+    pick_configs,
+    pick_configs_for_stream,
+    pick_inference_config,
+)
+from repro.exceptions import SchedulingError
+from repro.profiles import RetrainingEstimate, StreamWindowProfile
+
+
+def _inference(demand=0.25, sampling=1.0, resolution=1.0):
+    return InferenceConfig(frame_sampling_rate=sampling, resolution_scale=resolution, gpu_demand=demand)
+
+
+def _stream_input(name="cam", start=0.6, estimates=None, inference_configs=None):
+    profile = StreamWindowProfile(stream_name=name, window_index=0, start_accuracy=start)
+    for config, accuracy, cost in estimates or []:
+        profile.add(
+            RetrainingEstimate(config=config, post_retraining_accuracy=accuracy, gpu_seconds=cost)
+        )
+    return StreamWindowInput(
+        stream_name=name,
+        profile=profile,
+        inference_configs=inference_configs or [_inference(0.25), _inference(0.1, sampling=0.5), _inference(0.05, sampling=0.25, resolution=0.5)],
+    )
+
+
+class TestEstimator:
+    def test_no_retraining_flat_accuracy(self):
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=0.6,
+            post_retraining_accuracy=None,
+            retraining_gpu_seconds=0.0,
+            inference_config=_inference(0.25),
+            inference_gpu=0.25,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+        )
+        assert estimate.average_accuracy == pytest.approx(0.6)
+        assert not estimate.retraining_completes
+
+    def test_retraining_blends_two_phases(self):
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=50.0,
+            inference_config=_inference(0.25),
+            inference_gpu=0.25,
+            retraining_gpu=0.5,
+            window_seconds=200.0,
+        )
+        # Retraining takes 100 s of 200 s; average is midway between phases.
+        assert estimate.retraining_duration == pytest.approx(100.0)
+        assert estimate.retraining_completes
+        assert 0.5 < estimate.average_accuracy < 0.9
+        assert estimate.average_accuracy == pytest.approx(
+            0.5 * estimate.accuracy_during_retraining + 0.5 * estimate.accuracy_after_retraining
+        )
+
+    def test_retraining_that_does_not_finish_gives_no_benefit(self):
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=500.0,
+            inference_config=_inference(0.25),
+            inference_gpu=0.25,
+            retraining_gpu=0.5,
+            window_seconds=200.0,
+        )
+        assert not estimate.retraining_completes
+        assert estimate.average_accuracy == pytest.approx(estimate.accuracy_during_retraining)
+
+    def test_underallocated_inference_degrades_during_phase(self):
+        starved = estimate_stream_average_accuracy(
+            start_accuracy=0.8,
+            post_retraining_accuracy=None,
+            retraining_gpu_seconds=0.0,
+            inference_config=_inference(0.5),
+            inference_gpu=0.25,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+        )
+        full = estimate_stream_average_accuracy(
+            start_accuracy=0.8,
+            post_retraining_accuracy=None,
+            retraining_gpu_seconds=0.0,
+            inference_config=_inference(0.5),
+            inference_gpu=0.5,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+        )
+        assert starved.average_accuracy < full.average_accuracy
+
+    def test_released_retraining_gpu_boosts_post_phase(self):
+        kept = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=25.0,
+            inference_config=_inference(0.5),
+            inference_gpu=0.25,
+            retraining_gpu=0.25,
+            window_seconds=200.0,
+            release_retraining_gpu_to_inference=False,
+        )
+        released = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=25.0,
+            inference_config=_inference(0.5),
+            inference_gpu=0.25,
+            retraining_gpu=0.25,
+            window_seconds=200.0,
+            release_retraining_gpu_to_inference=True,
+        )
+        assert released.average_accuracy >= kept.average_accuracy
+
+    def test_external_duration_used_for_cloud(self):
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=0.0,
+            inference_config=_inference(0.25),
+            inference_gpu=0.25,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+            external_retraining_duration=50.0,
+        )
+        assert estimate.retraining_completes
+        assert estimate.retraining_duration == pytest.approx(50.0)
+
+    def test_external_duration_beyond_window_gives_no_benefit(self):
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=0.0,
+            inference_config=_inference(0.25),
+            inference_gpu=0.25,
+            retraining_gpu=0.0,
+            window_seconds=200.0,
+            external_retraining_duration=250.0,
+        )
+        assert not estimate.retraining_completes
+
+    def test_minimum_accuracy_tracking(self):
+        estimate = estimate_stream_average_accuracy(
+            start_accuracy=0.5,
+            post_retraining_accuracy=0.9,
+            retraining_gpu_seconds=50.0,
+            inference_config=_inference(0.25),
+            inference_gpu=0.25,
+            retraining_gpu=0.5,
+            window_seconds=200.0,
+        )
+        assert estimate.minimum_instantaneous_accuracy == pytest.approx(
+            min(estimate.accuracy_during_retraining, estimate.accuracy_after_retraining)
+        )
+        assert estimate.meets_minimum(0.4)
+        assert not estimate.meets_minimum(0.99)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(SchedulingError):
+            estimate_stream_average_accuracy(
+                start_accuracy=1.2,
+                post_retraining_accuracy=None,
+                retraining_gpu_seconds=0.0,
+                inference_config=_inference(),
+                inference_gpu=0.1,
+                retraining_gpu=0.0,
+                window_seconds=200.0,
+            )
+        with pytest.raises(SchedulingError):
+            estimate_stream_average_accuracy(
+                start_accuracy=0.5,
+                post_retraining_accuracy=None,
+                retraining_gpu_seconds=0.0,
+                inference_config=_inference(),
+                inference_gpu=0.1,
+                retraining_gpu=0.0,
+                window_seconds=0.0,
+            )
+
+
+class TestPickInferenceConfig:
+    def test_picks_most_accurate_that_fits(self):
+        stream_input = _stream_input(start=0.8)
+        chosen = pick_inference_config(stream_input, 0.25, a_min=0.4)
+        assert chosen.gpu_demand <= 0.25
+        assert chosen.accuracy_factor() == max(
+            cfg.accuracy_factor()
+            for cfg in stream_input.inference_configs
+            if cfg.gpu_demand <= 0.25
+        )
+
+    def test_small_allocation_picks_cheaper_config(self):
+        stream_input = _stream_input(start=0.8)
+        chosen = pick_inference_config(stream_input, 0.06, a_min=0.4)
+        assert chosen.gpu_demand <= 0.06
+
+    def test_no_fitting_config_falls_back_to_cheapest(self):
+        stream_input = _stream_input(start=0.8)
+        chosen = pick_inference_config(stream_input, 0.01, a_min=0.4)
+        assert chosen.gpu_demand == min(cfg.gpu_demand for cfg in stream_input.inference_configs)
+
+    def test_a_min_filter_prefers_configs_above_threshold(self):
+        # With a very low start accuracy nothing clears a_min; the most
+        # accurate fitting config should still be returned.
+        stream_input = _stream_input(start=0.3)
+        chosen = pick_inference_config(stream_input, 0.25, a_min=0.4)
+        assert chosen.gpu_demand <= 0.25
+
+
+class TestPickConfigsForStream:
+    def test_no_retraining_when_no_gpu_for_it(self):
+        config = RetrainingConfig(epochs=5)
+        stream_input = _stream_input(estimates=[(config, 0.9, 20.0)])
+        decision = pick_configs_for_stream(
+            stream_input, 0.25, 0.0, window_seconds=200.0, a_min=0.4
+        )
+        assert decision.retraining_config is None
+        assert decision.retraining_gpu == 0.0
+
+    def test_beneficial_retraining_selected(self):
+        config = RetrainingConfig(epochs=5)
+        stream_input = _stream_input(start=0.5, estimates=[(config, 0.9, 20.0)])
+        decision = pick_configs_for_stream(
+            stream_input, 0.25, 0.25, window_seconds=200.0, a_min=0.4
+        )
+        assert decision.retraining_config == config
+        assert decision.estimated_average_accuracy > 0.5
+
+    def test_useless_retraining_rejected(self):
+        config = RetrainingConfig(epochs=5)
+        # Post-retraining accuracy below the current accuracy: not worth it.
+        stream_input = _stream_input(start=0.9, estimates=[(config, 0.6, 20.0)])
+        decision = pick_configs_for_stream(
+            stream_input, 0.25, 0.25, window_seconds=200.0, a_min=0.4
+        )
+        assert decision.retraining_config is None
+
+    def test_too_slow_retraining_rejected(self):
+        config = RetrainingConfig(epochs=30)
+        stream_input = _stream_input(start=0.5, estimates=[(config, 0.95, 1000.0)])
+        decision = pick_configs_for_stream(
+            stream_input, 0.25, 0.25, window_seconds=200.0, a_min=0.4
+        )
+        assert decision.retraining_config is None
+
+    def test_picks_cheaper_config_when_better_on_average(self):
+        cheap = RetrainingConfig(epochs=5, name="cheap")
+        rich = RetrainingConfig(epochs=30, name="rich")
+        # The rich config is slightly more accurate but takes most of the
+        # window, so the cheap one wins on window-averaged accuracy.
+        stream_input = _stream_input(
+            start=0.5, estimates=[(cheap, 0.85, 10.0), (rich, 0.90, 45.0)]
+        )
+        decision = pick_configs_for_stream(
+            stream_input, 0.25, 0.25, window_seconds=200.0, a_min=0.4
+        )
+        assert decision.retraining_config == cheap
+
+    def test_negative_allocation_rejected(self):
+        stream_input = _stream_input()
+        with pytest.raises(SchedulingError):
+            pick_configs_for_stream(stream_input, -0.1, 0.0, window_seconds=200.0, a_min=0.4)
+
+
+class TestPickConfigsAcrossStreams:
+    def _request(self):
+        config = RetrainingConfig(epochs=5)
+        streams = {
+            "a": _stream_input("a", start=0.5, estimates=[(config, 0.9, 20.0)]),
+            "b": _stream_input("b", start=0.8, estimates=[(config, 0.82, 20.0)]),
+        }
+        return ScheduleRequest(
+            window_index=0,
+            window_seconds=200.0,
+            total_gpus=1.0,
+            delta=0.1,
+            a_min=0.4,
+            streams=streams,
+        )
+
+    def test_returns_decision_per_stream(self):
+        request = self._request()
+        allocation = {
+            "a/inference": 0.25,
+            "a/retraining": 0.25,
+            "b/inference": 0.25,
+            "b/retraining": 0.25,
+        }
+        decisions, mean_accuracy = pick_configs(request, allocation)
+        assert set(decisions) == {"a", "b"}
+        assert 0.0 < mean_accuracy <= 1.0
+
+    def test_cache_reuses_per_stream_decisions(self):
+        request = self._request()
+        allocation = {
+            "a/inference": 0.25,
+            "a/retraining": 0.25,
+            "b/inference": 0.25,
+            "b/retraining": 0.25,
+        }
+        cache = {}
+        first, _ = pick_configs(request, allocation, cache=cache)
+        assert len(cache) == 2
+        second, _ = pick_configs(request, allocation, cache=cache)
+        assert first["a"] is second["a"]
+
+    def test_mean_accuracy_is_mean_of_decisions(self):
+        request = self._request()
+        allocation = {
+            "a/inference": 0.3,
+            "a/retraining": 0.2,
+            "b/inference": 0.3,
+            "b/retraining": 0.2,
+        }
+        decisions, mean_accuracy = pick_configs(request, allocation)
+        expected = sum(d.estimated_average_accuracy for d in decisions.values()) / 2
+        assert mean_accuracy == pytest.approx(expected)

@@ -1,0 +1,157 @@
+"""Unit tests for micro-profiling and the profile sources."""
+
+import numpy as np
+import pytest
+
+from repro.configs import ConfigurationSpace, RetrainingConfig
+from repro.core import (
+    MicroProfiler,
+    MicroProfilerSettings,
+    MicroProfilingSource,
+    OracleProfileSource,
+)
+from repro.exceptions import ProfilingError
+from repro.profiles import AnalyticDynamics, SubstrateDynamics
+
+
+@pytest.fixture()
+def configs():
+    return [
+        RetrainingConfig(epochs=5, data_fraction=0.5, layers_trained_fraction=0.5),
+        RetrainingConfig(epochs=15, data_fraction=0.5),
+        RetrainingConfig(epochs=30),
+    ]
+
+
+class TestMicroProfilerSettings:
+    def test_defaults_valid(self):
+        settings = MicroProfilerSettings()
+        assert settings.data_fraction == pytest.approx(0.1)
+        assert settings.profiling_epochs == 5
+
+    def test_invalid_settings(self):
+        with pytest.raises(ProfilingError):
+            MicroProfilerSettings(data_fraction=0.0)
+        with pytest.raises(ProfilingError):
+            MicroProfilerSettings(profiling_epochs=1)
+        with pytest.raises(ProfilingError):
+            MicroProfilerSettings(holdout_fraction=1.0)
+        with pytest.raises(ProfilingError):
+            MicroProfilerSettings(max_configs=0)
+
+
+class TestMicroProfiler:
+    def test_profile_config_returns_estimate(self, small_stream, edge_model, configs):
+        profiler = MicroProfiler(MicroProfilerSettings(data_fraction=0.3), seed=0)
+        estimate = profiler.profile_config(edge_model, small_stream.window(0), configs[2])
+        assert 0.0 <= estimate.post_retraining_accuracy <= 1.0
+        assert estimate.gpu_seconds > 0
+        assert estimate.profiling_gpu_seconds < estimate.gpu_seconds
+
+    def test_profiling_is_much_cheaper_than_full_training(self, small_stream, edge_model, configs):
+        profiler = MicroProfiler(MicroProfilerSettings(data_fraction=0.1, profiling_epochs=5), seed=0)
+        estimate = profiler.profile_config(edge_model, small_stream.window(0), configs[2])
+        # §4.3: micro-profiling is ~100x cheaper than exhaustive profiling; on
+        # the small substrate the gap is smaller but must still be large.
+        assert estimate.profiling_gpu_seconds <= estimate.gpu_seconds / 5
+
+    def test_profile_does_not_mutate_serving_model(self, small_stream, edge_model, configs):
+        profiler = MicroProfiler(seed=0)
+        before = [layer.weights.copy() for layer in edge_model.layers]
+        profiler.profile_config(edge_model, small_stream.window(0), configs[0])
+        after = [layer.weights for layer in edge_model.layers]
+        for b, a in zip(before, after):
+            assert np.allclose(b, a)
+
+    def test_estimate_close_to_ground_truth(self, small_stream, edge_model, configs):
+        profiler = MicroProfiler(MicroProfilerSettings(data_fraction=0.3, profiling_epochs=5), seed=0)
+        config = configs[1]
+        window = small_stream.window(0)
+        estimated = profiler.profile_config(edge_model, window, config).post_retraining_accuracy
+        truth = profiler.exhaustive_profile_config(edge_model, window, config).post_retraining_accuracy
+        assert abs(estimated - truth) < 0.25
+
+    def test_profile_window_covers_all_configs(self, small_stream, edge_model, configs):
+        profiler = MicroProfiler(seed=0)
+        profile = profiler.profile_window(edge_model, small_stream.window(0), configs)
+        assert len(profile.estimates) == len(configs)
+        assert profile.profiling_gpu_seconds > 0
+
+    def test_profile_window_requires_configs(self, small_stream, edge_model):
+        profiler = MicroProfiler(seed=0)
+        with pytest.raises(ProfilingError):
+            profiler.profile_window(edge_model, small_stream.window(0), [])
+
+    def test_profile_window_uses_history_to_prune(self, small_stream, edge_model, configs):
+        profiler = MicroProfiler(MicroProfilerSettings(max_configs=2), seed=0)
+        history = {
+            configs[0]: (5.0, 0.80),
+            configs[1]: (20.0, 0.55),  # dominated: dearer and less accurate
+            configs[2]: (60.0, 0.85),
+        }
+        profile = profiler.profile_window(
+            edge_model, small_stream.window(0), configs, history=history
+        )
+        assert len(profile.estimates) <= 2
+
+
+class TestOracleProfileSource:
+    def test_zero_error_matches_dynamics(self, small_stream, configs):
+        dynamics = AnalyticDynamics(seed=0)
+        source = OracleProfileSource(dynamics, accuracy_error_std=0.0, seed=1)
+        profile = source.profile(small_stream, 2, configs)
+        for config in configs:
+            assert profile.estimate_for(config).post_retraining_accuracy == pytest.approx(
+                dynamics.candidate_post_accuracy(small_stream, 2, config)
+            )
+
+    def test_noise_perturbs_estimates(self, small_stream, configs):
+        dynamics = AnalyticDynamics(seed=0)
+        noisy = OracleProfileSource(dynamics, accuracy_error_std=0.2, seed=1)
+        profile = noisy.profile(small_stream, 2, configs)
+        diffs = [
+            abs(
+                profile.estimate_for(config).post_retraining_accuracy
+                - dynamics.candidate_post_accuracy(small_stream, 2, config)
+            )
+            for config in configs
+        ]
+        assert max(diffs) > 0.01
+
+    def test_noisy_estimates_stay_in_unit_interval(self, small_stream, configs):
+        source = OracleProfileSource(AnalyticDynamics(seed=0), accuracy_error_std=0.5, seed=2)
+        profile = source.profile(small_stream, 1, configs)
+        for estimate in profile.estimates.values():
+            assert 0.0 <= estimate.post_retraining_accuracy <= 1.0
+
+    def test_negative_error_std_rejected(self):
+        with pytest.raises(ProfilingError):
+            OracleProfileSource(AnalyticDynamics(seed=0), accuracy_error_std=-0.1)
+
+    def test_profile_carries_stream_name_and_costs(self, small_stream, configs):
+        source = OracleProfileSource(AnalyticDynamics(seed=0))
+        profile = source.profile(small_stream, 0, configs)
+        assert profile.stream_name == small_stream.name
+        assert all(est.gpu_seconds > 0 for est in profile.estimates.values())
+
+
+class TestMicroProfilingSource:
+    def test_end_to_end_profiling_over_substrate(self, small_stream, configs):
+        dynamics = SubstrateDynamics(seed=0, exemplars_per_class=10)
+        source = MicroProfilingSource(
+            dynamics, settings=MicroProfilerSettings(data_fraction=0.3, profiling_epochs=3), seed=0
+        )
+        profile = source.profile(small_stream, 1, configs)
+        assert profile.stream_name == small_stream.name
+        assert len(profile.estimates) == len(configs)
+        assert (small_stream.name, 1) in source.store
+
+    def test_store_accumulates_history(self, small_stream, configs):
+        dynamics = SubstrateDynamics(seed=0, exemplars_per_class=10)
+        source = MicroProfilingSource(
+            dynamics, settings=MicroProfilerSettings(data_fraction=0.3, profiling_epochs=3), seed=0
+        )
+        source.profile(small_stream, 0, configs)
+        source.profile(small_stream, 1, configs)
+        history = source.store.history_for(small_stream.name, up_to_window=2)
+        assert history
