@@ -2,10 +2,13 @@
 
 The paper reports 9.4 s to schedule 10 video streams across 8 GPUs with 18
 retraining configurations per model and Δ = 0.1 for a 200 s retraining window
-(i.e. < 5 % of the window).  Absolute runtimes differ by machine and by the
-per-stream caching this implementation adds, but the decision must remain a
-small fraction of the window, and this benchmark also reports quantisation
-loss when the resulting allocations are placed onto physical GPUs.
+(i.e. < 5 % of the window).  Absolute runtimes differ by machine, so besides
+the window-fraction bound this benchmark A/B-tests the optimised hot path
+(integer-quantum lattice + vectorised candidate tables + incremental window
+objective) against a same-machine port of the seed implementation (full
+PickConfigs sweep and vector copy per candidate steal): the optimised
+scheduler must be ≥5× faster in wall-clock, run ≥10× fewer PickConfigs
+evaluations, and lose nothing in estimated accuracy.
 """
 
 from __future__ import annotations
@@ -13,51 +16,49 @@ from __future__ import annotations
 import pytest
 
 from conftest import print_table
-from repro.cluster import GPUFleet, place_jobs
-from repro.configs import ConfigurationSpace, default_inference_configs, default_retraining_grid
-from repro.core import EkyaPolicy, OracleProfileSource
-from repro.datasets import make_workload
-from repro.cluster import EdgeServerSpec
-from repro.profiles import AnalyticDynamics
-
-NUM_STREAMS = 10
-NUM_GPUS = 8
-WINDOW_SECONDS = 200.0
-DELTA = 0.1
-SEED = 0
-
-
-def _schedule_once():
-    # 18 retraining configurations per model, as in §6.3.
-    retraining_configs = default_retraining_grid(
-        epochs=(5, 15, 30), layers_trained=(0.5, 1.0), data_fractions=(0.2, 0.5, 1.0)
-    )[:18]
-    space = ConfigurationSpace(
-        retraining_configs=retraining_configs,
-        inference_configs=default_inference_configs(
-            sampling_rates=(1.0, 0.5, 0.25), resolution_scales=(1.0, 0.5)
-        ),
-    )
-    streams = make_workload("cityscapes", NUM_STREAMS, seed=SEED)
-    spec = EdgeServerSpec(
-        num_gpus=NUM_GPUS, delta=DELTA, window_duration=WINDOW_SECONDS
-    )
-    dynamics = AnalyticDynamics(seed=SEED)
-    policy = EkyaPolicy(OracleProfileSource(dynamics, seed=SEED), space, steal_quantum=DELTA)
-    schedule = policy.plan_window(streams, 0, spec)
-    placement = place_jobs(schedule.allocation_map(), GPUFleet(NUM_GPUS))
-    return schedule, placement
+from scheduler_bench_core import (
+    DELTA,
+    NUM_GPUS,
+    NUM_STREAMS,
+    WINDOW_SECONDS,
+    build_request,
+    schedule_with_placement,
+    seed_reference_schedule,
+)
 
 
 @pytest.mark.benchmark(group="scheduler-runtime")
 def test_scheduler_runtime_and_placement(benchmark):
-    schedule, placement = benchmark(_schedule_once)
+    schedule, placement = benchmark(schedule_with_placement)
+
+    reference_accuracy, reference_runtime, reference_invocations, reference_computed = (
+        seed_reference_schedule(build_request())
+    )
+    # Best-of-3 on both sides so the asserted ratio reflects the code paths,
+    # not scheduler jitter on a loaded machine.
+    runtime = min(
+        [schedule.scheduler_runtime_seconds]
+        + [schedule_with_placement()[0].scheduler_runtime_seconds for _ in range(2)]
+    )
+    reference_runtime = min(
+        [reference_runtime]
+        + [seed_reference_schedule(build_request())[1] for _ in range(2)]
+    )
+    speedup = reference_runtime / runtime
+    evaluation_reduction = reference_invocations / schedule.pick_configs_evaluations
 
     rows = [
-        ["streams x GPUs x configs", f"{NUM_STREAMS} x {NUM_GPUS} x 18"],
-        ["scheduler runtime", f"{schedule.scheduler_runtime_seconds * 1000:.1f} ms"],
-        ["fraction of 200 s window", f"{schedule.scheduler_runtime_seconds / WINDOW_SECONDS * 100:.3f} %"],
-        ["PickConfigs evaluations", schedule.iterations],
+        ["streams x GPUs x configs", f"{NUM_STREAMS} x {NUM_GPUS} x 18 (delta={DELTA})"],
+        ["scheduler runtime (best of 3)", f"{runtime * 1000:.1f} ms"],
+        ["fraction of 200 s window", f"{runtime / WINDOW_SECONDS * 100:.3f} %"],
+        ["candidate allocations evaluated", schedule.iterations],
+        ["PickConfigs evaluations (vectorised)", schedule.pick_configs_evaluations],
+        ["estimated average accuracy", f"{schedule.estimated_average_accuracy:.6f}"],
+        ["seed-path runtime (same machine)", f"{reference_runtime * 1000:.1f} ms"],
+        ["seed-path PickConfigs invocations", reference_invocations],
+        ["seed-path per-stream evaluations", reference_computed],
+        ["wall-clock speedup vs seed path", f"{speedup:.1f}x"],
+        ["PickConfigs evaluation reduction", f"{evaluation_reduction:.1f}x"],
         ["allocation lost to quantisation", f"{placement.allocation_loss():.2f} GPUs"],
     ]
     print_table("§6.3: scheduler decision cost (paper: 9.4 s, 4.7 % of window)", rows)
@@ -68,3 +69,12 @@ def test_scheduler_runtime_and_placement(benchmark):
     # (single inverse-power-of-two pieces can lose close to half of a small
     # fractional allocation, so the bound is loose but still meaningful).
     assert placement.allocation_loss() < 0.35 * NUM_GPUS
+
+    # Hot-path acceptance: >=5x wall clock, >=10x fewer PickConfigs
+    # evaluations, identical-or-better estimated accuracy than the seed
+    # implementation on the same seeds.
+    assert speedup >= 5.0
+    assert evaluation_reduction >= 10.0
+    assert (
+        schedule.estimated_average_accuracy >= reference_accuracy - 1e-12
+    )

@@ -1,0 +1,59 @@
+"""Scheduler scaling beyond the paper: 10 → 100 streams on one edge box.
+
+The ROADMAP north-star pushes the reproduction towards much larger stream
+counts than §6.3's ten.  This benchmark sweeps the thief scheduler from the
+paper's operating point up to 100 streams (8 GPUs, 18 retraining configs,
+Δ = 0.1), records the decision-latency trajectory, and emits the results to
+``BENCH_scheduler.json`` so successive runs accumulate a timestamped record
+that ``run_benchmarks.py`` gates regressions against.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from scheduler_bench_core import (
+    WINDOW_SECONDS,
+    emit_bench_json,
+    measure_operating_point,
+    measure_scaling,
+)
+
+STREAM_COUNTS = (10, 25, 50, 100)
+
+
+@pytest.mark.benchmark(group="scheduler-scaling")
+def test_scheduler_scaling_10_to_100_streams(benchmark):
+    rows = benchmark.pedantic(measure_scaling, args=(STREAM_COUNTS,), rounds=1, iterations=1)
+
+    table = [
+        [
+            row["num_streams"],
+            f"{row['scheduler_runtime_seconds'] * 1000:.1f} ms",
+            f"{row['window_fraction'] * 100:.3f} %",
+            row["iterations"],
+            row["pick_configs_evaluations"],
+            f"{row['estimated_average_accuracy']:.4f}",
+        ]
+        for row in rows
+    ]
+    print_table(
+        "scheduler scaling (8 GPUs, 18 configs, delta=0.1)",
+        table,
+        header=["streams", "runtime", "window %", "candidates", "evaluations", "est. accuracy"],
+    )
+
+    path = emit_bench_json(measure_operating_point(with_reference=False), rows)
+    print(f"trajectory appended to {path}")
+
+    for row in rows:
+        # Even at 10x the paper's stream count the decision must stay a
+        # small fraction of the retraining window.
+        assert row["scheduler_runtime_seconds"] < 0.05 * WINDOW_SECONDS
+    # The vectorised hot path's evaluation count must grow far slower than
+    # the candidate count: at 100 streams the thief weighs tens of thousands
+    # of candidate steals, which would each have been a full PickConfigs
+    # sweep in the seed implementation.
+    largest = rows[-1]
+    assert largest["pick_configs_evaluations"] < largest["iterations"] / 10

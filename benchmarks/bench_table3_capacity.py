@@ -70,11 +70,19 @@ def test_table3_capacity_scaling(benchmark):
         assert ekya["capacity_by_gpus"][gpus] >= best_baseline
 
     # Ekya scales at least as fast as the best baseline when GPUs are added —
-    # unless its capacity already saturates the tested stream counts at the
-    # smallest provisioning (in which case the factor is not informative).
+    # unless its capacity hits the sweep's stream-count ceiling at either
+    # provisioning, in which case the measured factor is clipped from above
+    # (a *higher* starting capacity then reads as a *lower* factor) and the
+    # comparison is not informative.
+    ekya_clipped = ekya["capacity_by_gpus"][GPU_COUNTS[-1]] >= max(STREAM_COUNTS)
     ekya_saturated = ekya["capacity_by_gpus"][GPU_COUNTS[0]] >= max(STREAM_COUNTS)
     baseline_factors = [
         entry["scaling_factor"] for entry in baselines.values() if entry["scaling_factor"]
     ]
-    if not ekya_saturated and ekya["scaling_factor"] is not None and baseline_factors:
+    if (
+        not ekya_saturated
+        and not ekya_clipped
+        and ekya["scaling_factor"] is not None
+        and baseline_factors
+    ):
         assert ekya["scaling_factor"] >= max(baseline_factors) - 1e-9

@@ -1,0 +1,141 @@
+#!/usr/bin/env python
+"""Scheduler benchmark entry point with a committed-regression gate.
+
+Runs the scheduler benchmarks (paper operating point + 10→100-stream
+scaling sweep), appends a timestamped entry to ``BENCH_scheduler.json``, and
+fails (exit code 1) if the scheduler's decision latency at the operating
+point has regressed more than 2× against the committed baseline in
+``benchmarks/baselines/scheduler_baseline.json``.
+
+The gate compares *relative* quantities wherever possible — the wall-clock
+speedup over the same-machine seed-path port, and the PickConfigs evaluation
+count, which is deterministic — so the check is meaningful on hardware other
+than the one the baseline was recorded on.  The raw runtime comparison is
+also applied because CI typically re-runs on comparable machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--no-check] \
+        [--output BENCH_scheduler.json] [--baseline benchmarks/baselines/scheduler_baseline.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from scheduler_bench_core import (
+    BASELINE_PATH,
+    BENCH_JSON_PATH,
+    emit_bench_json,
+    load_baseline,
+    measure_operating_point,
+    measure_scaling,
+)
+
+#: A run is a regression when it is more than this factor slower than the
+#: committed baseline.
+REGRESSION_FACTOR = 2.0
+
+
+def check_against_baseline(operating_point: dict, baseline: dict) -> list:
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    base_op = baseline.get("operating_point", {})
+
+    base_runtime = base_op.get("scheduler_runtime_seconds")
+    runtime = operating_point["scheduler_runtime_seconds"]
+    if base_runtime and runtime > REGRESSION_FACTOR * base_runtime:
+        failures.append(
+            f"scheduler runtime {runtime * 1000:.1f} ms is more than "
+            f"{REGRESSION_FACTOR:.0f}x the committed baseline "
+            f"({base_runtime * 1000:.1f} ms)"
+        )
+
+    base_evaluations = base_op.get("pick_configs_evaluations")
+    evaluations = operating_point["pick_configs_evaluations"]
+    if base_evaluations and evaluations > REGRESSION_FACTOR * base_evaluations:
+        failures.append(
+            f"PickConfigs evaluations {evaluations} exceed "
+            f"{REGRESSION_FACTOR:.0f}x the committed baseline ({base_evaluations})"
+        )
+
+    base_speedup = base_op.get("wall_clock_speedup")
+    speedup = operating_point.get("wall_clock_speedup")
+    if base_speedup and speedup and speedup < base_speedup / REGRESSION_FACTOR:
+        failures.append(
+            f"wall-clock speedup over the seed path fell to {speedup:.1f}x "
+            f"(baseline {base_speedup:.1f}x)"
+        )
+
+    base_accuracy = base_op.get("estimated_average_accuracy")
+    accuracy = operating_point["estimated_average_accuracy"]
+    if base_accuracy and accuracy < base_accuracy - 1e-9:
+        failures.append(
+            f"estimated average accuracy {accuracy:.6f} fell below the "
+            f"committed baseline {base_accuracy:.6f}"
+        )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BENCH_JSON_PATH,
+        help="trajectory JSON to append to (default: repo-root BENCH_scheduler.json)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=BASELINE_PATH,
+        help="committed baseline to gate against",
+    )
+    parser.add_argument(
+        "--no-check",
+        action="store_true",
+        help="record the run without gating against the baseline",
+    )
+    args = parser.parse_args(argv)
+
+    print("measuring operating point (10 streams x 8 GPUs x 18 configs, delta=0.1)...")
+    operating_point = measure_operating_point()
+    print(
+        f"  runtime {operating_point['scheduler_runtime_seconds'] * 1000:.1f} ms | "
+        f"evaluations {operating_point['pick_configs_evaluations']} | "
+        f"accuracy {operating_point['estimated_average_accuracy']:.6f} | "
+        f"speedup vs seed path {operating_point['wall_clock_speedup']:.1f}x"
+    )
+
+    print("measuring scaling sweep (10 -> 100 streams)...")
+    scaling = measure_scaling()
+    for row in scaling:
+        print(
+            f"  {row['num_streams']:4d} streams: "
+            f"{row['scheduler_runtime_seconds'] * 1000:8.1f} ms | "
+            f"evaluations {row['pick_configs_evaluations']}"
+        )
+
+    path = emit_bench_json(operating_point, scaling, args.output)
+    print(f"trajectory appended to {path}")
+
+    if args.no_check:
+        return 0
+    baseline = load_baseline(args.baseline)
+    if baseline is None:
+        print(f"no committed baseline at {args.baseline}; skipping the gate")
+        return 0
+    failures = check_against_baseline(operating_point, baseline)
+    if failures:
+        print("REGRESSION DETECTED:")
+        for message in failures:
+            print(f"  - {message}")
+        return 1
+    print("no regression against the committed baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,222 @@
+"""Shared measurement core for the scheduler benchmarks.
+
+Used by ``bench_scheduler_runtime.py`` (paper operating point, §6.3),
+``bench_scheduler_scaling.py`` (10 → 100 streams) and the
+``run_benchmarks.py`` entry point.  The module also carries a faithful port
+of the *seed* thief hot path — full PickConfigs sweep per candidate steal,
+vector copy per candidate, rounded-float cache keys — so every run measures
+the optimised path against the pre-lattice implementation on the same
+machine, making the reported speedups load- and hardware-independent.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, List, Optional
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.cluster import EdgeServerSpec, GPUFleet, inference_job_id, place_jobs, retraining_job_id
+from repro.configs import ConfigurationSpace, default_inference_configs, default_retraining_grid
+from repro.core import EkyaPolicy, OracleProfileSource, ThiefScheduler
+from repro.core.pick_configs import pick_configs_for_stream
+from repro.datasets import make_workload
+from repro.profiles import AnalyticDynamics
+from repro.utils.math_utils import safe_mean
+
+#: The paper's §6.3 operating point.
+NUM_STREAMS = 10
+NUM_GPUS = 8
+WINDOW_SECONDS = 200.0
+DELTA = 0.1
+SEED = 0
+
+#: Default location of the emitted benchmark trajectory.
+BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
+BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "scheduler_baseline.json"
+
+
+def build_request(num_streams: int = NUM_STREAMS, num_gpus: int = NUM_GPUS, seed: int = SEED):
+    """The §6.3 scheduling problem: N streams × G GPUs × 18 configs, Δ=0.1."""
+    retraining_configs = default_retraining_grid(
+        epochs=(5, 15, 30), layers_trained=(0.5, 1.0), data_fractions=(0.2, 0.5, 1.0)
+    )[:18]
+    space = ConfigurationSpace(
+        retraining_configs=retraining_configs,
+        inference_configs=default_inference_configs(
+            sampling_rates=(1.0, 0.5, 0.25), resolution_scales=(1.0, 0.5)
+        ),
+    )
+    streams = make_workload("cityscapes", num_streams, seed=seed)
+    spec = EdgeServerSpec(num_gpus=num_gpus, delta=DELTA, window_duration=WINDOW_SECONDS)
+    dynamics = AnalyticDynamics(seed=seed)
+    policy = EkyaPolicy(OracleProfileSource(dynamics, seed=seed), space, steal_quantum=DELTA)
+    return policy.build_request(streams, 0, spec)
+
+
+def schedule_with_placement(num_streams: int = NUM_STREAMS, num_gpus: int = NUM_GPUS):
+    """Run the optimised thief at the operating point and place the result."""
+    request = build_request(num_streams=num_streams, num_gpus=num_gpus)
+    schedule = ThiefScheduler(steal_quantum=DELTA).schedule(request)
+    placement = place_jobs(schedule.allocation_map(), GPUFleet(num_gpus))
+    return schedule, placement
+
+
+def seed_reference_schedule(request, *, quantum: float = DELTA, patience: int = 4):
+    """The seed implementation's hot path, preserved for same-machine A/B.
+
+    Per candidate steal it copies the allocation vector and re-evaluates
+    PickConfigs over *all* streams, memoising per-stream decisions on the
+    seed's rounded-float keys.  The steal trajectory (fair start, sweep
+    order, patience) matches the optimised scheduler, so on fixed seeds both
+    produce identical schedules and only the decision cost differs.
+
+    Returns ``(mean_accuracy, runtime_seconds, pick_configs_invocations,
+    per_stream_evaluations)``.
+    """
+    started = time.perf_counter()
+    cache: Dict = {}
+    computed = [0]
+
+    def evaluate(vector):
+        allocation = vector.as_dict()
+        decisions = {}
+        for name, stream_input in request.streams.items():
+            inference_gpu = float(allocation.get(inference_job_id(name), 0.0))
+            retraining_gpu = float(allocation.get(retraining_job_id(name), 0.0))
+            key = (name, round(inference_gpu, 6), round(retraining_gpu, 6))
+            if key in cache:
+                decisions[name] = cache[key]
+                continue
+            computed[0] += 1
+            decision = pick_configs_for_stream(
+                stream_input,
+                inference_gpu,
+                retraining_gpu,
+                window_seconds=request.window_seconds,
+                a_min=request.a_min,
+            )
+            decisions[name] = decision
+            cache[key] = decision
+        return decisions, safe_mean(
+            [d.estimated_average_accuracy for d in decisions.values()]
+        )
+
+    job_ids: List[str] = []
+    for name in request.streams:
+        job_ids.append(inference_job_id(name))
+        job_ids.append(retraining_job_id(name))
+    best_alloc = ThiefScheduler.fair_start(request, quantum)
+    best_configs, best_accuracy = evaluate(best_alloc)
+    iterations = 1
+    for thief_job in job_ids:
+        for victim_job in job_ids:
+            if thief_job == victim_job:
+                continue
+            temp_alloc = best_alloc.copy()
+            misses = 0
+            while True:
+                if not temp_alloc.steal(thief_job, victim_job, quantum):
+                    break
+                temp_configs, accuracy = evaluate(temp_alloc)
+                iterations += 1
+                if accuracy > best_accuracy + 1e-12:
+                    best_alloc = temp_alloc.copy()
+                    best_accuracy = accuracy
+                    best_configs = temp_configs
+                    misses = 0
+                else:
+                    misses += 1
+                    if misses >= patience:
+                        break
+    runtime = time.perf_counter() - started
+    return float(best_accuracy), runtime, iterations, computed[0]
+
+
+def measure_operating_point(*, with_reference: bool = True) -> Dict:
+    """Optimised-vs-seed metrics at the §6.3 operating point."""
+    schedule, placement = schedule_with_placement()
+    metrics = {
+        "num_streams": NUM_STREAMS,
+        "num_gpus": NUM_GPUS,
+        "num_retraining_configs": 18,
+        "delta": DELTA,
+        "window_seconds": WINDOW_SECONDS,
+        "scheduler_runtime_seconds": schedule.scheduler_runtime_seconds,
+        "iterations": schedule.iterations,
+        "pick_configs_evaluations": schedule.pick_configs_evaluations,
+        "estimated_average_accuracy": schedule.estimated_average_accuracy,
+        "placement_allocation_loss_gpus": placement.allocation_loss(),
+    }
+    if with_reference:
+        request = build_request()
+        ref_accuracy, ref_runtime, ref_invocations, ref_computed = seed_reference_schedule(
+            request
+        )
+        metrics.update(
+            {
+                "reference_runtime_seconds": ref_runtime,
+                "reference_pick_configs_invocations": ref_invocations,
+                "reference_per_stream_evaluations": ref_computed,
+                "reference_estimated_average_accuracy": ref_accuracy,
+                "wall_clock_speedup": ref_runtime / schedule.scheduler_runtime_seconds,
+                "pick_configs_reduction": ref_invocations
+                / schedule.pick_configs_evaluations,
+            }
+        )
+    return metrics
+
+
+def measure_scaling(stream_counts=(10, 25, 50, 100)) -> List[Dict]:
+    """Runtime / evaluation trajectory for growing stream counts."""
+    rows = []
+    for count in stream_counts:
+        schedule, placement = schedule_with_placement(num_streams=count)
+        rows.append(
+            {
+                "num_streams": count,
+                "num_gpus": NUM_GPUS,
+                "scheduler_runtime_seconds": schedule.scheduler_runtime_seconds,
+                "iterations": schedule.iterations,
+                "pick_configs_evaluations": schedule.pick_configs_evaluations,
+                "estimated_average_accuracy": schedule.estimated_average_accuracy,
+                "window_fraction": schedule.scheduler_runtime_seconds / WINDOW_SECONDS,
+            }
+        )
+    return rows
+
+
+def emit_bench_json(
+    operating_point: Dict,
+    scaling: List[Dict],
+    path: Optional[Path] = None,
+) -> Path:
+    """Append one timestamped entry to the ``BENCH_scheduler.json`` trajectory."""
+    path = Path(path) if path is not None else BENCH_JSON_PATH
+    entry = {
+        "timestamp": datetime.now(timezone.utc).isoformat(),
+        "operating_point": operating_point,
+        "scaling": scaling,
+    }
+    trajectory = []
+    if path.exists():
+        try:
+            trajectory = json.loads(path.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            trajectory = []
+    trajectory.append(entry)
+    path.write_text(json.dumps({"runs": trajectory}, indent=2) + "\n")
+    return path
+
+
+def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    path = Path(path) if path is not None else BASELINE_PATH
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

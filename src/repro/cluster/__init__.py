@@ -20,7 +20,7 @@ from .network import (
     training_data_megabits,
 )
 from .placement import Placement, place_jobs, quantize_allocations
-from .resources import AllocationVector, redistribute_released
+from .resources import AllocationVector, fair_unit_split, redistribute_released
 
 __all__ = [
     "EdgeServer",
@@ -45,5 +45,6 @@ __all__ = [
     "place_jobs",
     "quantize_allocations",
     "AllocationVector",
+    "fair_unit_split",
     "redistribute_released",
 ]

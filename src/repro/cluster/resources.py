@@ -6,62 +6,136 @@ multiples of the allocation unit δ (§4.1–4.2).  :class:`AllocationVector`
 implements that arithmetic (fair initialisation, stealing a quantum Δ,
 validation) independently of which physical GPU each fraction lands on —
 placement onto devices is a separate step (:mod:`repro.cluster.placement`).
+
+Internally the vector lives on an **integer-quantum lattice**: every entry is
+stored as an integer multiple of the quantum and floats only appear at the
+API boundary (``get``/``set``/``as_dict``).  That makes steal arithmetic
+drift-free (repeated ±Δ walks return to exactly the starting point), gives
+exact hashable cache keys (:meth:`units`, :meth:`units_key`) for the
+scheduler's memoisation, and turns steal/undo into O(1) integer updates
+instead of full-dict copies.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping
+import math
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from ..exceptions import AllocationError
 from .gpu import EPSILON
 
 
-@dataclass
 class AllocationVector:
-    """A mapping from job id to GPU fraction, bounded by ``total_gpus``."""
+    """A mapping from job id to GPU fraction, bounded by ``total_gpus``.
 
-    total_gpus: float
-    quantum: float = 0.1
-    allocations: Dict[str, float] = None  # type: ignore[assignment]
+    ``allocations`` (if given) is quantised onto the lattice on entry —
+    rounded down to a whole number of quanta, so any allocation whose float
+    total fits the capacity stays valid; all subsequent arithmetic is exact
+    integer maths.
+    """
 
-    def __post_init__(self) -> None:
-        if self.total_gpus <= 0:
+    __slots__ = ("total_gpus", "quantum", "total_units", "_units")
+
+    def __init__(
+        self,
+        total_gpus: float,
+        quantum: float = 0.1,
+        allocations: Optional[Mapping[str, float]] = None,
+    ) -> None:
+        if total_gpus <= 0:
             raise AllocationError("total_gpus must be positive")
-        if self.quantum <= 0 or self.quantum > self.total_gpus:
+        if quantum <= 0 or quantum > total_gpus:
             raise AllocationError("quantum must be in (0, total_gpus]")
-        if self.allocations is None:
-            self.allocations = {}
+        self.total_gpus = float(total_gpus)
+        self.quantum = float(quantum)
+        #: How many whole quanta the provisioned GPUs hold.
+        self.total_units = int(math.floor(total_gpus / quantum + 1e-9))
+        self._units: Dict[str, int] = {}
+        if allocations:
+            for job_id, fraction in allocations.items():
+                self._units[job_id] = self._quantize(job_id, fraction)
         self.validate()
 
     # --------------------------------------------------------------- helpers
     @classmethod
-    def fair(cls, job_ids: Iterable[str], total_gpus: float, *, quantum: float = 0.1) -> "AllocationVector":
-        """Evenly split the GPUs across all jobs (the thief's starting point)."""
+    def fair(
+        cls,
+        job_ids: Iterable[str],
+        total_gpus: float,
+        *,
+        quantum: float = 0.1,
+        remainder_priority: Optional[Iterable[str]] = None,
+    ) -> "AllocationVector":
+        """Evenly split the GPUs across all jobs (the thief's starting point).
+
+        The split happens on the lattice: every job receives
+        ``total_units // n`` quanta and the remainder is handed out one
+        quantum at a time — in ``remainder_priority`` order if given (jobs it
+        omits queue up after it in ``job_ids`` order), else in ``job_ids``
+        order — so the result is always quantum-aligned and sums to exactly
+        ``total_units`` quanta.  Under heavy contention (fewer quanta than
+        jobs) the priority order decides which jobs start with anything at
+        all; the thief scheduler uses it to hand every stream an inference
+        quantum before any stream gets a retraining one.
+        """
         ids = list(job_ids)
         if not ids:
             raise AllocationError("cannot build an allocation for zero jobs")
-        share = total_gpus / len(ids)
-        vector = cls(total_gpus=total_gpus, quantum=quantum, allocations={job: share for job in ids})
+        vector = cls(total_gpus=total_gpus, quantum=quantum)
+        share, remainder = divmod(vector.total_units, len(ids))
+        for job in ids:
+            vector._units[job] = share
+        order = list(remainder_priority) if remainder_priority is not None else ids
+        order.extend(job for job in ids if job not in set(order))
+        for job in order[:remainder]:
+            if job not in vector._units:
+                raise AllocationError(f"remainder_priority names unknown job {job!r}")
+            vector._units[job] += 1
         return vector
 
     def copy(self) -> "AllocationVector":
-        return AllocationVector(
-            total_gpus=self.total_gpus,
-            quantum=self.quantum,
-            allocations=dict(self.allocations),
-        )
+        clone = AllocationVector(total_gpus=self.total_gpus, quantum=self.quantum)
+        clone._units = dict(self._units)
+        return clone
+
+    def _quantize(self, job_id: str, fraction: float) -> int:
+        """Snap a float fraction onto the lattice, rounding *down*.
+
+        Rounding down (with a tolerance for fractions that are exact
+        multiples up to float error) guarantees that any allocation whose
+        float total respects the capacity stays valid after quantisation:
+        per-entry nearest-rounding could round several entries up and push
+        the unit total over ``total_units``.
+        """
+        if fraction < -EPSILON:
+            raise AllocationError(f"negative allocation for {job_id!r}")
+        return max(0, int(math.floor(fraction / self.quantum + 1e-9)))
 
     # ------------------------------------------------------------- accessors
     def get(self, job_id: str) -> float:
-        return float(self.allocations.get(job_id, 0.0))
+        return self._units.get(job_id, 0) * self.quantum
+
+    def units(self, job_id: str) -> int:
+        """Exact allocation of ``job_id`` in whole quanta."""
+        return self._units.get(job_id, 0)
 
     def job_ids(self) -> List[str]:
-        return list(self.allocations.keys())
+        return list(self._units.keys())
+
+    def as_units_dict(self) -> Dict[str, int]:
+        return dict(self._units)
+
+    def units_key(self) -> Tuple[Tuple[str, int], ...]:
+        """Exact, hashable snapshot of the lattice point (for memoisation)."""
+        return tuple(sorted(self._units.items()))
+
+    @property
+    def allocated_units(self) -> int:
+        return sum(self._units.values())
 
     @property
     def total_allocated(self) -> float:
-        return float(sum(self.allocations.values()))
+        return self.allocated_units * self.quantum
 
     @property
     def slack(self) -> float:
@@ -71,48 +145,81 @@ class AllocationVector:
     def set(self, job_id: str, fraction: float) -> None:
         if fraction < -EPSILON:
             raise AllocationError("allocations must be non-negative")
-        fraction = max(0.0, fraction)
-        new_total = self.total_allocated - self.get(job_id) + fraction
-        if new_total > self.total_gpus + EPSILON:
+        self.set_units(job_id, self._quantize(job_id, max(0.0, fraction)))
+
+    def set_units(self, job_id: str, units: int) -> None:
+        if units < 0:
+            raise AllocationError("allocations must be non-negative")
+        new_total = self.allocated_units - self.units(job_id) + units
+        if new_total > self.total_units:
             raise AllocationError(
-                f"allocation of {fraction:.3f} to {job_id!r} exceeds {self.total_gpus} GPUs"
+                f"allocation of {units * self.quantum:.3f} to {job_id!r} "
+                f"exceeds {self.total_gpus} GPUs"
             )
-        self.allocations[job_id] = fraction
+        self._units[job_id] = units
 
     def steal(self, thief_id: str, victim_id: str, amount: float) -> bool:
         """Move ``amount`` GPUs from victim to thief.
 
-        Returns ``False`` (and leaves the vector unchanged) if the victim does
-        not have ``amount`` to give; this is the negative-allocation check of
-        Algorithm 1 (lines 12–13).
+        ``amount`` is rounded to the nearest whole number of quanta (at least
+        one).  Returns ``False`` (and leaves the vector unchanged) if the
+        victim does not have that much to give; this is the
+        negative-allocation check of Algorithm 1 (lines 12–13).
+        """
+        if amount <= 0:
+            raise AllocationError("steal amount must be positive")
+        return self.steal_units(thief_id, victim_id, max(1, int(round(amount / self.quantum))))
+
+    def steal_units(self, thief_id: str, victim_id: str, units: int) -> bool:
+        """Move ``units`` whole quanta from victim to thief — O(1) and exact.
+
+        The inverse move (``steal_units(victim, thief, units)``) restores the
+        previous lattice point bit-for-bit, which is what lets the thief
+        scheduler mutate-and-undo instead of copying the vector per candidate.
         """
         if thief_id == victim_id:
             raise AllocationError("a job cannot steal from itself")
-        if amount <= 0:
+        if units <= 0:
             raise AllocationError("steal amount must be positive")
-        victim_allocation = self.get(victim_id)
-        if victim_allocation - amount < -EPSILON:
+        victim_units = self._units.get(victim_id, 0)
+        if victim_units < units:
             return False
-        self.allocations[victim_id] = max(0.0, victim_allocation - amount)
-        self.allocations[thief_id] = self.get(thief_id) + amount
+        self._units[victim_id] = victim_units - units
+        self._units[thief_id] = self._units.get(thief_id, 0) + units
         return True
 
     def validate(self) -> None:
         """Raise if any entry is negative or the total exceeds the GPUs."""
-        for job_id, fraction in self.allocations.items():
-            if fraction < -EPSILON:
+        for job_id, units in self._units.items():
+            if units < 0:
                 raise AllocationError(f"negative allocation for {job_id!r}")
-        if self.total_allocated > self.total_gpus + 1e-6:
+        if self.allocated_units > self.total_units:
             raise AllocationError(
                 f"total allocation {self.total_allocated:.3f} exceeds {self.total_gpus} GPUs"
             )
 
     def as_dict(self) -> Dict[str, float]:
-        return dict(self.allocations)
+        return {job: units * self.quantum for job, units in self._units.items()}
 
     def __repr__(self) -> str:
-        inner = ", ".join(f"{job}={fraction:.2f}" for job, fraction in sorted(self.allocations.items()))
+        inner = ", ".join(
+            f"{job}={units * self.quantum:.2f}" for job, units in sorted(self._units.items())
+        )
         return f"AllocationVector({inner}; total={self.total_gpus})"
+
+
+def fair_unit_split(total_units: int, parts: int) -> List[int]:
+    """Split ``total_units`` whole quanta as evenly as possible over ``parts``.
+
+    Shared by the fair initialisation above and the uniform baselines: the
+    first ``total_units % parts`` parts receive one extra quantum.
+    """
+    if parts <= 0:
+        raise AllocationError("parts must be positive")
+    if total_units < 0:
+        raise AllocationError("total_units must be non-negative")
+    share, remainder = divmod(total_units, parts)
+    return [share + (1 if index < remainder else 0) for index in range(parts)]
 
 
 def redistribute_released(
@@ -126,14 +233,15 @@ def redistribute_released(
 
     Ekya re-runs the thief scheduler when a retraining job completes; this
     helper provides the simple proportional fallback used by baselines and as
-    the starting point of that re-run.
+    the starting point of that re-run.  The freed quanta are handed out one at
+    a time in job order so the result stays on the lattice.
     """
     remaining = {job: fraction for job, fraction in allocation.items() if job != released_job_id}
     vector = AllocationVector(total_gpus=total_gpus, quantum=quantum, allocations=dict(remaining))
     freed = float(allocation.get(released_job_id, 0.0))
     if not remaining or freed <= 0:
         return vector
-    bonus = freed / len(remaining)
-    for job in remaining:
-        vector.set(job, vector.get(job) + bonus)
+    freed_units = int(math.floor(freed / quantum + 1e-9))
+    for job, bonus in zip(remaining, fair_unit_split(freed_units, len(remaining))):
+        vector.set_units(job, vector.units(job) + bonus)
     return vector

@@ -5,6 +5,8 @@ from .baselines import (
     UNIFORM_CONFIG_2,
     NoRetrainingPolicy,
     UniformPolicy,
+    even_stream_share,
+    finalize_window_schedule,
     standard_uniform_baselines,
 )
 from .cached import (
@@ -14,9 +16,15 @@ from .cached import (
     evaluate_cached_reuse,
     select_cached_model,
 )
+from .candidate_table import CandidateTable, build_candidate_tables
 from .cloud import CloudRetrainingPolicy
 from .controller import EkyaPolicy
-from .estimator import AccuracyEstimate, estimate_stream_average_accuracy
+from .estimator import (
+    AccuracyEstimate,
+    BatchAccuracyEstimate,
+    estimate_batch_average_accuracy,
+    estimate_stream_average_accuracy,
+)
 from .microprofiler import (
     MicroProfiler,
     MicroProfilerSettings,
@@ -40,15 +48,21 @@ __all__ = [
     "UNIFORM_CONFIG_2",
     "NoRetrainingPolicy",
     "UniformPolicy",
+    "even_stream_share",
+    "finalize_window_schedule",
     "standard_uniform_baselines",
     "CachedModelEntry",
     "CachedReuseResult",
     "build_model_cache",
     "evaluate_cached_reuse",
     "select_cached_model",
+    "CandidateTable",
+    "build_candidate_tables",
     "CloudRetrainingPolicy",
     "EkyaPolicy",
     "AccuracyEstimate",
+    "BatchAccuracyEstimate",
+    "estimate_batch_average_accuracy",
     "estimate_stream_average_accuracy",
     "MicroProfiler",
     "MicroProfilerSettings",

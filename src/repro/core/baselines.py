@@ -36,6 +36,40 @@ UNIFORM_CONFIG_2 = RetrainingConfig(
 )
 
 
+def even_stream_share(total_gpus: float, num_streams: int) -> float:
+    """Per-stream GPU slice of the uniform baselines (§6.1).
+
+    The uniform schedulers split the fleet evenly by construction; unlike the
+    thief's lattice-aligned fair start (``AllocationVector.fair``) the static
+    split is *not* snapped to the allocation quantum, matching the paper's
+    description of the baseline.
+    """
+    if num_streams <= 0:
+        raise SchedulingError("num_streams must be positive")
+    if total_gpus <= 0:
+        raise SchedulingError("total_gpus must be positive")
+    return total_gpus / num_streams
+
+
+def finalize_window_schedule(request, decisions: Dict[str, StreamDecision], started: float) -> WindowSchedule:
+    """Assemble and validate a single-pass baseline's :class:`WindowSchedule`.
+
+    Shared by the uniform-family policies, which all evaluate every stream
+    exactly once (``iterations`` = 1, one full PickConfigs-equivalent sweep).
+    """
+    mean_accuracy = sum(d.estimated_average_accuracy for d in decisions.values()) / len(decisions)
+    schedule = WindowSchedule(
+        window_index=request.window_index,
+        decisions=decisions,
+        estimated_average_accuracy=mean_accuracy,
+        scheduler_runtime_seconds=time.perf_counter() - started,
+        iterations=1,
+        pick_configs_evaluations=len(decisions),
+    )
+    schedule.validate_against(request)
+    return schedule
+
+
 class UniformPolicy(ProfiledPolicy):
     """Even GPU split across streams, static inference share, fixed config.
 
@@ -77,7 +111,7 @@ class UniformPolicy(ProfiledPolicy):
     ) -> WindowSchedule:
         request = self.build_request(streams, window_index, spec)
         started = time.perf_counter()
-        per_stream = request.total_gpus / len(request.streams)
+        per_stream = even_stream_share(request.total_gpus, len(request.streams))
         inference_gpu = per_stream * self._inference_share
         retraining_gpu = per_stream - inference_gpu
 
@@ -113,16 +147,7 @@ class UniformPolicy(ProfiledPolicy):
                 estimated_average_accuracy=evaluation.average_accuracy,
             )
 
-        mean_accuracy = sum(d.estimated_average_accuracy for d in decisions.values()) / len(decisions)
-        schedule = WindowSchedule(
-            window_index=request.window_index,
-            decisions=decisions,
-            estimated_average_accuracy=mean_accuracy,
-            scheduler_runtime_seconds=time.perf_counter() - started,
-            iterations=1,
-        )
-        schedule.validate_against(request)
-        return schedule
+        return finalize_window_schedule(request, decisions, started)
 
     def _matching_config(self, available) -> Optional[RetrainingConfig]:
         """Find the profiled configuration matching the fixed choice."""
@@ -159,7 +184,7 @@ class NoRetrainingPolicy(ProfiledPolicy):
     ) -> WindowSchedule:
         request = self.build_request(streams, window_index, spec)
         started = time.perf_counter()
-        per_stream = request.total_gpus / len(request.streams)
+        per_stream = even_stream_share(request.total_gpus, len(request.streams))
         decisions: Dict[str, StreamDecision] = {}
         for name, stream_input in request.streams.items():
             inference_config = pick_inference_config(stream_input, per_stream, a_min=request.a_min)
@@ -178,16 +203,7 @@ class NoRetrainingPolicy(ProfiledPolicy):
                 inference_gpu=per_stream,
                 estimated_average_accuracy=evaluation.average_accuracy,
             )
-        mean_accuracy = sum(d.estimated_average_accuracy for d in decisions.values()) / len(decisions)
-        schedule = WindowSchedule(
-            window_index=request.window_index,
-            decisions=decisions,
-            estimated_average_accuracy=mean_accuracy,
-            scheduler_runtime_seconds=time.perf_counter() - started,
-            iterations=1,
-        )
-        schedule.validate_against(request)
-        return schedule
+        return finalize_window_schedule(request, decisions, started)
 
 
 def standard_uniform_baselines(

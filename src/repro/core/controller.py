@@ -24,6 +24,7 @@ from ..configs.retraining import RetrainingConfig
 from ..configs.space import ConfigurationSpace
 from ..datasets.stream import VideoStream
 from ..exceptions import SchedulingError
+from .baselines import even_stream_share
 from .microprofiler import ProfileSource
 from .pick_configs import pick_configs, pick_configs_for_stream
 from .policy import ProfiledPolicy
@@ -91,7 +92,7 @@ class EkyaPolicy(ProfiledPolicy):
     def _plan_with_fixed_resources(self, request: ScheduleRequest) -> WindowSchedule:
         """Static per-stream split, configuration choice still profile-driven."""
         started = time.perf_counter()
-        per_stream = request.total_gpus / len(request.streams)
+        per_stream = even_stream_share(request.total_gpus, len(request.streams))
         allocation: Dict[str, float] = {}
         for name in request.streams:
             allocation[inference_job_id(name)] = per_stream * self._inference_share

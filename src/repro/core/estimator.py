@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+import numpy as np
+
 from ..configs.inference import InferenceConfig
 from ..exceptions import SchedulingError
 from ..utils.math_utils import clamp, time_weighted_average
@@ -131,4 +133,64 @@ def estimate_stream_average_accuracy(
         retraining_duration=duration,
         retraining_completes=True,
         minimum_instantaneous_accuracy=min(accuracy_during, accuracy_after),
+    )
+
+
+@dataclass(frozen=True)
+class BatchAccuracyEstimate:
+    """Vectorised :class:`AccuracyEstimate` over many retraining candidates.
+
+    Every array has one entry per candidate configuration.  Candidates whose
+    retraining does not finish inside the window (``completes`` False) carry
+    the stale-model accuracy, exactly like the scalar estimator.
+    """
+
+    average_accuracy: np.ndarray
+    completes: np.ndarray
+    meets_minimum: np.ndarray
+    accuracy_during: float
+
+
+def estimate_batch_average_accuracy(
+    *,
+    accuracy_during: float,
+    post_retraining_accuracies: np.ndarray,
+    retraining_gpu_seconds: np.ndarray,
+    inference_factor_after,
+    retraining_gpu,
+    window_seconds: float,
+    a_min: float,
+) -> BatchAccuracyEstimate:
+    """EstimateAccuracy over a whole grid of retraining candidates at once.
+
+    The arithmetic mirrors :func:`estimate_stream_average_accuracy`
+    operation-for-operation (same operand order, same clamps, same epsilons)
+    so that a vectorised caller is bit-for-bit equivalent to the scalar
+    reference; only the validation is hoisted out of the hot loop.
+    ``accuracy_during`` is a scalar because Algorithm 2 fixes the inference
+    configuration before scanning retraining candidates;
+    ``inference_factor_after`` and ``retraining_gpu`` may be scalars or
+    arrays that broadcast against the candidate axis (e.g. a column of
+    allocation levels), in which case all outputs carry the broadcast shape.
+    """
+    retraining_gpu = np.asarray(retraining_gpu, dtype=float)
+    if np.any(retraining_gpu <= 0):
+        raise SchedulingError("estimate_batch_average_accuracy needs retraining_gpu > 0")
+    if window_seconds <= 0:
+        raise SchedulingError("window_seconds must be positive")
+    post = np.asarray(post_retraining_accuracies, dtype=float)
+    gpu_seconds = np.asarray(retraining_gpu_seconds, dtype=float)
+    duration = gpu_seconds / retraining_gpu
+    completes = (gpu_seconds > 0) & (duration < window_seconds)
+    accuracy_after = np.minimum(np.maximum(post * inference_factor_after, 0.0), 1.0)
+    weighted = duration * accuracy_during + (window_seconds - duration) * accuracy_after
+    total_time = duration + (window_seconds - duration)
+    average = np.where(completes, weighted / total_time, accuracy_during)
+    minimum = np.minimum(accuracy_during, accuracy_after)
+    meets = np.where(completes, minimum + 1e-9 >= a_min, accuracy_during + 1e-9 >= a_min)
+    return BatchAccuracyEstimate(
+        average_accuracy=average,
+        completes=completes,
+        meets_minimum=meets,
+        accuracy_during=accuracy_during,
     )

@@ -9,14 +9,21 @@ maximises the estimated accuracy averaged over the retraining window.
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, MutableMapping, Optional, Tuple
+from typing import Dict, Mapping, MutableMapping, Optional, Tuple, Union
 
 from ..cluster.jobs import inference_job_id, retraining_job_id
+from ..cluster.resources import AllocationVector
 from ..configs.inference import InferenceConfig
 from ..exceptions import SchedulingError
 from ..utils.math_utils import safe_mean
 from .estimator import estimate_stream_average_accuracy
 from .types import ScheduleRequest, StreamDecision, StreamWindowInput
+
+#: Strict-improvement epsilon of Algorithm 2's candidate comparison (and of
+#: Algorithm 1's steal acceptance).  The vectorised hot path in
+#: :mod:`repro.core.candidate_table` and the thief import it from here so the
+#: scalar oracle and the vectorised search can never drift apart.
+IMPROVEMENT_EPS = 1e-12
 
 
 def pick_inference_config(
@@ -84,10 +91,14 @@ def pick_configs_for_stream(
             if not candidate.retraining_completes:
                 # Exceeds the window at this allocation (first constraint of Eq. 1).
                 continue
-            better = candidate.average_accuracy > best_estimate.average_accuracy + 1e-12
+            better = candidate.average_accuracy > best_estimate.average_accuracy + IMPROVEMENT_EPS
             # Prefer options that respect a_MIN over ones that do not.
             if candidate.meets_minimum(a_min) and not best_estimate.meets_minimum(a_min):
-                better = candidate.average_accuracy >= best_estimate.average_accuracy - 1e-12 or better
+                better = (
+                    candidate.average_accuracy
+                    >= best_estimate.average_accuracy - IMPROVEMENT_EPS
+                    or better
+                )
             elif not candidate.meets_minimum(a_min) and best_estimate.meets_minimum(a_min):
                 better = False
             if better:
@@ -107,25 +118,40 @@ def pick_configs_for_stream(
 
 def pick_configs(
     request: ScheduleRequest,
-    allocation: Mapping[str, float],
+    allocation: Union[Mapping[str, float], AllocationVector],
     *,
     release_retraining_gpu_to_inference: bool = True,
-    cache: Optional[MutableMapping[Tuple[str, float, float], StreamDecision]] = None,
+    cache: Optional[MutableMapping[Tuple[str, int, int], StreamDecision]] = None,
 ) -> Tuple[Dict[str, StreamDecision], float]:
     """Algorithm 2 over all streams; returns decisions and their mean accuracy.
 
     ``allocation`` maps job ids (``<stream>/inference`` and
-    ``<stream>/retraining``) to GPU fractions.  ``cache`` memoises per-stream
-    decisions keyed by the stream's own pair of allocations: the thief
-    scheduler perturbs only two jobs per step, so almost every other stream's
-    decision can be reused, which keeps Algorithm 1 fast.
+    ``<stream>/retraining``) to GPU fractions, or is an
+    :class:`~repro.cluster.resources.AllocationVector` on the integer-quantum
+    lattice.  ``cache`` memoises per-stream decisions keyed by the stream's
+    own pair of allocations, which lets a caller that perturbs only a couple
+    of jobs between calls reuse every other stream's decision.
+
+    Cache keys are the **exact integer quanta** of the lattice — never
+    rounded floats, which alias distinct allocations (and miss equal ones)
+    whenever the quantum walks below the rounding resolution.  Exact keys
+    require the lattice, so the cache is only consulted when ``allocation``
+    is an :class:`AllocationVector`; raw float mappings are always evaluated.
     """
+    lattice = allocation if isinstance(allocation, AllocationVector) else None
     decisions: Dict[str, StreamDecision] = {}
     for name, stream_input in request.streams.items():
-        inference_gpu = float(allocation.get(inference_job_id(name), 0.0))
-        retraining_gpu = float(allocation.get(retraining_job_id(name), 0.0))
-        key = (name, round(inference_gpu, 6), round(retraining_gpu, 6))
-        if cache is not None and key in cache:
+        if lattice is not None:
+            inference_units = lattice.units(inference_job_id(name))
+            retraining_units = lattice.units(retraining_job_id(name))
+            inference_gpu = inference_units * lattice.quantum
+            retraining_gpu = retraining_units * lattice.quantum
+            key: Optional[Tuple[str, int, int]] = (name, inference_units, retraining_units)
+        else:
+            inference_gpu = float(allocation.get(inference_job_id(name), 0.0))
+            retraining_gpu = float(allocation.get(retraining_job_id(name), 0.0))
+            key = None
+        if cache is not None and key is not None and key in cache:
             decisions[name] = cache[key]
             continue
         decision = pick_configs_for_stream(
@@ -137,7 +163,7 @@ def pick_configs(
             release_retraining_gpu_to_inference=release_retraining_gpu_to_inference,
         )
         decisions[name] = decision
-        if cache is not None:
+        if cache is not None and key is not None:
             cache[key] = decision
     mean_accuracy = safe_mean([d.estimated_average_accuracy for d in decisions.values()])
     return decisions, mean_accuracy

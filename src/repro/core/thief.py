@@ -6,18 +6,35 @@ fair allocation, every job in turn plays the "thief": it steals GPU quanta Δ
 from each other job as long as doing so improves the estimated inference
 accuracy averaged over the retraining window (computed by ``PickConfigs``),
 and stops as soon as the accuracy stops improving.
+
+Hot-path implementation notes (the behaviour is the paper's Algorithm 1):
+
+* Allocations live on the integer-quantum lattice of
+  :class:`~repro.cluster.resources.AllocationVector`; a candidate steal is an
+  O(1) integer mutation that is *undone* by the inverse transfer when the
+  trajectory is abandoned — no per-candidate vector copies, no float drift.
+* A steal perturbs exactly one or two streams, so the window objective is
+  maintained incrementally: a running per-stream accuracy sum is updated with
+  only the affected streams' deltas instead of re-running PickConfigs over
+  every stream per candidate.
+* Per-stream decisions come from the vectorised
+  :class:`~repro.core.candidate_table.CandidateTable`, which memoises whole
+  retraining-level columns on exact integer keys, making almost every
+  candidate evaluation a dictionary lookup.
 """
 
 from __future__ import annotations
 
 import time
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..cluster.jobs import inference_job_id, retraining_job_id
 from ..cluster.resources import AllocationVector
 from ..exceptions import SchedulingError
-from .pick_configs import pick_configs
-from .types import ScheduleRequest, Scheduler, StreamDecision, WindowSchedule
+from ..utils.math_utils import safe_mean
+from .candidate_table import CandidateTable, build_candidate_tables
+from .pick_configs import IMPROVEMENT_EPS as _IMPROVEMENT_EPS
+from .types import ScheduleRequest, Scheduler, WindowSchedule
 
 
 class ThiefScheduler(Scheduler):
@@ -67,68 +84,137 @@ class ThiefScheduler(Scheduler):
         self._patience = patience
 
     # ------------------------------------------------------------- interface
+    @staticmethod
+    def fair_start(request: ScheduleRequest, quantum: float) -> AllocationVector:
+        """The thief's lattice-aligned fair starting allocation.
+
+        Remainder quanta that cannot be split evenly go to inference jobs
+        (one per stream) before any retraining job: under heavy contention
+        every stream should be able to serve its live video before any
+        stream retrains.
+        """
+        job_ids: List[str] = []
+        inference_first: List[str] = []
+        for name in request.streams:
+            job_ids.extend((inference_job_id(name), retraining_job_id(name)))
+            inference_first.append(inference_job_id(name))
+        inference_first.extend(retraining_job_id(name) for name in request.streams)
+        return AllocationVector.fair(
+            job_ids,
+            request.total_gpus,
+            quantum=quantum,
+            remainder_priority=inference_first,
+        )
+
     def schedule(self, request: ScheduleRequest) -> WindowSchedule:
         started = time.perf_counter()
         quantum = self._steal_quantum if self._steal_quantum is not None else request.delta
         quantum = min(quantum, request.total_gpus)
 
-        job_ids = []
-        for name in request.streams:
-            job_ids.append(inference_job_id(name))
-            job_ids.append(retraining_job_id(name))
+        stream_names = list(request.streams)
+        job_ids: List[str] = []
+        job_stream: Dict[str, str] = {}
+        stream_jobs: Dict[str, Tuple[str, str]] = {}
+        for name in stream_names:
+            inference = inference_job_id(name)
+            retraining = retraining_job_id(name)
+            job_ids.extend((inference, retraining))
+            job_stream[inference] = name
+            job_stream[retraining] = name
+            stream_jobs[name] = (inference, retraining)
 
-        cache: Dict[Tuple[str, float, float], StreamDecision] = {}
-        best_alloc = AllocationVector.fair(job_ids, request.total_gpus, quantum=quantum)
-        best_configs, best_accuracy = self._evaluate(request, best_alloc, cache)
+        allocation = self.fair_start(request, quantum)
+        tables: Dict[str, CandidateTable] = build_candidate_tables(
+            request.streams,
+            window_seconds=request.window_seconds,
+            a_min=request.a_min,
+            quantum=allocation.quantum,
+            total_units=allocation.total_units,
+            release_retraining_gpu_to_inference=self._release,
+        )
+
+        # Committed state: per-stream window accuracy under the best-so-far
+        # allocation, and its running sum (the incremental objective).
+        num_streams = len(stream_names)
+        accuracy_of: Dict[str, float] = {}
+        for name in stream_names:
+            inference, retraining = stream_jobs[name]
+            accuracy_of[name] = tables[name].accuracy_at(
+                allocation.units(inference), allocation.units(retraining)
+            )
+        accuracy_sum = sum(accuracy_of.values())
+        best_accuracy = accuracy_sum / num_streams
         iterations = 1
 
         for _ in range(self._max_rounds):
             improved_in_round = False
             for thief_job in job_ids:
+                thief_stream = job_stream[thief_job]
                 for victim_job in job_ids:
                     if thief_job == victim_job:
                         continue
-                    temp_alloc = best_alloc.copy()
+                    victim_stream = job_stream[victim_job]
+                    thief_inf, thief_ret = stream_jobs[thief_stream]
                     misses = 0
+                    pending = 0  # uncommitted quanta moved victim -> thief
                     while True:
-                        stolen = temp_alloc.steal(thief_job, victim_job, quantum)
-                        if not stolen:
+                        if not allocation.steal_units(thief_job, victim_job, 1):
                             break
-                        temp_configs, accuracy = self._evaluate(request, temp_alloc, cache)
+                        pending += 1
                         iterations += 1
-                        if accuracy > best_accuracy + 1e-12:
-                            best_alloc = temp_alloc.copy()
+                        # A steal perturbs at most these two streams; every
+                        # other stream's decision — and its contribution to
+                        # the window objective — is unchanged.
+                        new_thief = tables[thief_stream].accuracy_at(
+                            allocation.units(thief_inf), allocation.units(thief_ret)
+                        )
+                        new_sum = accuracy_sum - accuracy_of[thief_stream] + new_thief
+                        if victim_stream != thief_stream:
+                            victim_inf, victim_ret = stream_jobs[victim_stream]
+                            new_victim = tables[victim_stream].accuracy_at(
+                                allocation.units(victim_inf), allocation.units(victim_ret)
+                            )
+                            new_sum += new_victim - accuracy_of[victim_stream]
+                        accuracy = new_sum / num_streams
+                        if accuracy > best_accuracy + _IMPROVEMENT_EPS:
+                            accuracy_of[thief_stream] = new_thief
+                            if victim_stream != thief_stream:
+                                accuracy_of[victim_stream] = new_victim
+                            accuracy_sum = new_sum
                             best_accuracy = accuracy
-                            best_configs = temp_configs
-                            improved_in_round = True
+                            pending = 0
                             misses = 0
+                            improved_in_round = True
                         else:
                             misses += 1
                             if misses >= self._patience:
                                 break
+                    if pending:
+                        # Abandon the non-improving tail of this trajectory:
+                        # the inverse transfer restores the committed lattice
+                        # point exactly.
+                        allocation.steal_units(victim_job, thief_job, pending)
             if not improved_in_round:
                 break
 
+        decisions = {}
+        for name in stream_names:
+            inference, retraining = stream_jobs[name]
+            decisions[name] = tables[name].decision(
+                allocation.units(inference), allocation.units(retraining)
+            )
+        # Report the window objective with the same arithmetic PickConfigs
+        # uses (np.mean over the streams), not the incremental running sum,
+        # so the number is comparable bit-for-bit across scheduler paths.
         schedule = WindowSchedule(
             window_index=request.window_index,
-            decisions=dict(best_configs),
-            estimated_average_accuracy=best_accuracy,
+            decisions=decisions,
+            estimated_average_accuracy=safe_mean(
+                [d.estimated_average_accuracy for d in decisions.values()]
+            ),
             scheduler_runtime_seconds=time.perf_counter() - started,
             iterations=iterations,
+            pick_configs_evaluations=sum(table.evaluations for table in tables.values()),
         )
         schedule.validate_against(request)
         return schedule
-
-    # -------------------------------------------------------------- internal
-    def _evaluate(
-        self,
-        request: ScheduleRequest,
-        allocation: AllocationVector,
-        cache: Dict[Tuple[str, float, float], StreamDecision],
-    ) -> Tuple[Dict[str, StreamDecision], float]:
-        return pick_configs(
-            request,
-            allocation.as_dict(),
-            release_retraining_gpu_to_inference=self._release,
-            cache=cache,
-        )

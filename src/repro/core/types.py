@@ -113,7 +113,13 @@ class WindowSchedule:
     decisions: Dict[str, StreamDecision] = field(default_factory=dict)
     estimated_average_accuracy: float = 0.0
     scheduler_runtime_seconds: float = 0.0
+    #: Candidate allocations the scheduler evaluated (steal attempts + 1).
     iterations: int = 0
+    #: Executions of Algorithm 2's per-stream search that were actually
+    #: computed (vectorised lattice columns for the thief; full sweeps for
+    #: schedulers that call PickConfigs directly).  Memoised lookups do not
+    #: count, so this is the scheduler's real configuration-selection work.
+    pick_configs_evaluations: int = 0
 
     def decision_for(self, stream_name: str) -> StreamDecision:
         try:

@@ -44,6 +44,17 @@ class StreamWindowOutcome:
     retraining_duration: float
     retraining_completed: bool
     minimum_instantaneous_accuracy: float
+    #: Duration of the retraining window the outcome was realised over.
+    #: Required at construction: a backfilled default of 0.0 used to make
+    #: :attr:`timeline` silently emit zero-length segments.
+    decision_window_seconds: float
+
+    def __post_init__(self) -> None:
+        if self.decision_window_seconds <= 0:
+            raise SimulationError(
+                "decision_window_seconds must be positive (the retraining "
+                "window this outcome was realised over)"
+            )
 
     @property
     def timeline(self) -> List[Tuple[float, float]]:
@@ -57,9 +68,6 @@ class StreamWindowOutcome:
                 self.accuracy_after_retraining,
             ),
         ]
-
-    # Filled in by the simulator; kept out of __init__ for brevity.
-    decision_window_seconds: float = 0.0
 
 
 @dataclass
@@ -239,6 +247,6 @@ class Simulator:
             retraining_duration=estimate.retraining_duration,
             retraining_completed=estimate.retraining_completes,
             minimum_instantaneous_accuracy=estimate.minimum_instantaneous_accuracy,
+            decision_window_seconds=spec.window_duration,
         )
-        outcome.decision_window_seconds = spec.window_duration
         return outcome

@@ -27,6 +27,7 @@ class TestAllocationVectorProperties:
     def test_steals_preserve_total_and_nonnegativity(self, num_jobs, total_gpus, steals):
         jobs = [f"job-{i}" for i in range(num_jobs)]
         vector = AllocationVector.fair(jobs, total_gpus, quantum=0.1)
+        initial_units = vector.allocated_units
         initial_total = vector.total_allocated
         for thief_idx, victim_idx in steals:
             thief = jobs[thief_idx % num_jobs]
@@ -35,8 +36,34 @@ class TestAllocationVectorProperties:
                 continue
             vector.steal(thief, victim, 0.1)
         vector.validate()
-        assert abs(vector.total_allocated - initial_total) < 1e-6
-        assert all(v >= -1e-9 for v in vector.as_dict().values())
+        # Exact on the lattice: steals move whole quanta, so the unit total
+        # (and therefore the float total) is preserved bit-for-bit.
+        assert vector.allocated_units == initial_units
+        assert vector.total_allocated == initial_total
+        assert all(v >= 0.0 for v in vector.as_dict().values())
+
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.5, max_value=8.0),
+        st.lists(st.tuples(st.integers(0, 7), st.integers(0, 7)), min_size=1, max_size=30),
+    )
+    def test_steal_sequences_undo_exactly(self, num_jobs, total_gpus, steals):
+        """Replaying every successful steal in reverse restores the exact
+        lattice point — the invariant the thief's mutate-and-undo relies on."""
+        jobs = [f"job-{i}" for i in range(num_jobs)]
+        vector = AllocationVector.fair(jobs, total_gpus, quantum=0.1)
+        before = vector.units_key()
+        applied = []
+        for thief_idx, victim_idx in steals:
+            thief = jobs[thief_idx % num_jobs]
+            victim = jobs[victim_idx % num_jobs]
+            if thief == victim:
+                continue
+            if vector.steal_units(thief, victim, 1):
+                applied.append((thief, victim))
+        for thief, victim in reversed(applied):
+            assert vector.steal_units(victim, thief, 1)
+        assert vector.units_key() == before
 
 
 class TestPlacementProperties:
@@ -151,11 +178,41 @@ class TestThiefProperties:
             assert decision.inference_gpu >= -1e-9
             assert decision.retraining_gpu >= -1e-9
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(stream_spec, min_size=1, max_size=5),
+        st.integers(min_value=1, max_value=4),
+        st.sampled_from([0.1, 0.2, 0.25, 0.5]),
+    )
+    def test_allocations_stay_on_the_quantum_lattice(self, stream_specs, num_gpus, quantum):
+        """Thief invariants: non-negative, capacity-bounded and
+        quantum-aligned allocations for every stream, whatever the steals."""
+        streams = {
+            f"cam-{i}": _stream_input(f"cam-{i}", start, post, cost)
+            for i, (start, post, cost) in enumerate(stream_specs)
+        }
+        request = ScheduleRequest(
+            window_index=0,
+            window_seconds=200.0,
+            total_gpus=float(num_gpus),
+            delta=0.1,
+            a_min=0.3,
+            streams=streams,
+        )
+        schedule = ThiefScheduler(steal_quantum=quantum).schedule(request)
+        total_units = 0
+        for decision in schedule.decisions.values():
+            for fraction in (decision.inference_gpu, decision.retraining_gpu):
+                assert fraction >= 0.0
+                units = fraction / quantum
+                assert abs(units - round(units)) < 1e-6
+                total_units += int(round(units))
+        assert total_units * quantum <= num_gpus + 1e-9
+
     @settings(max_examples=15, deadline=None)
     @given(st.lists(stream_spec, min_size=1, max_size=4))
     def test_estimated_accuracy_at_least_fair_no_retraining(self, stream_specs):
         """The thief never does worse than its own fair starting point."""
-        from repro.cluster import inference_job_id, retraining_job_id
         from repro.core import pick_configs
 
         streams = {
@@ -170,11 +227,7 @@ class TestThiefProperties:
             a_min=0.3,
             streams=streams,
         )
-        fair_allocation = {}
-        share = 2.0 / (2 * len(streams))
-        for name in streams:
-            fair_allocation[inference_job_id(name)] = share
-            fair_allocation[retraining_job_id(name)] = share
+        fair_allocation = ThiefScheduler.fair_start(request, 0.25)
         _, fair_accuracy = pick_configs(request, fair_allocation)
         schedule = ThiefScheduler(steal_quantum=0.25).schedule(request)
         assert schedule.estimated_average_accuracy >= fair_accuracy - 1e-9

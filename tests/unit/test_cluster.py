@@ -162,6 +162,79 @@ class TestAllocationVector:
             AllocationVector.fair([], 1.0)
 
 
+class TestAllocationLattice:
+    """The integer-quantum internals behind the float API."""
+
+    def test_entries_are_exact_unit_multiples(self):
+        vector = AllocationVector(
+            total_gpus=2.0, quantum=0.1, allocations={"a": 0.7, "b": 0.3}
+        )
+        assert vector.units("a") == 7
+        assert vector.units("b") == 3
+        assert vector.get("a") == 7 * 0.1
+
+    def test_steal_walks_are_drift_free(self):
+        vector = AllocationVector.fair(["a", "b"], 1.0, quantum=0.1)
+        for _ in range(4):
+            assert vector.steal("a", "b", 0.1)
+        for _ in range(4):
+            assert vector.steal("b", "a", 0.1)
+        # Back to the exact starting point — no float residue.
+        assert vector.get("a") == 0.5
+        assert vector.get("b") == 0.5
+        assert vector.units_key() == (("a", 5), ("b", 5))
+
+    def test_steal_units_undo_is_exact(self):
+        vector = AllocationVector.fair(["a", "b", "c"], 2.0, quantum=0.25)
+        before = vector.units_key()
+        assert vector.steal_units("a", "b", 2)
+        assert vector.steal_units("b", "a", 2)
+        assert vector.units_key() == before
+
+    def test_steal_units_rejects_overdraft_without_mutation(self):
+        vector = AllocationVector.fair(["a", "b"], 1.0, quantum=0.1)
+        before = vector.units_key()
+        assert not vector.steal_units("a", "b", 6)
+        assert vector.units_key() == before
+
+    def test_fair_remainder_priority_orders_the_leftover_quanta(self):
+        vector = AllocationVector.fair(
+            ["a", "b", "c"],
+            0.5,
+            quantum=0.1,
+            remainder_priority=["c", "a", "b"],
+        )
+        # 5 units over 3 jobs: one each, remainder goes to "c" then "a".
+        assert vector.units("c") == 2
+        assert vector.units("a") == 2
+        assert vector.units("b") == 1
+
+    def test_fair_under_contention_leaves_some_jobs_empty(self):
+        vector = AllocationVector.fair(["a", "b", "c", "d"], 0.2, quantum=0.1)
+        assert vector.allocated_units == 2
+        assert vector.units("a") == 1 and vector.units("b") == 1
+        assert vector.units("c") == 0 and vector.units("d") == 0
+
+    def test_quantisation_happens_only_at_the_api_boundary(self):
+        vector = AllocationVector(
+            total_gpus=1.0, quantum=0.1, allocations={"a": 0.333}
+        )
+        # 0.333 is not on the lattice; it rounds down to a whole quantum.
+        assert vector.units("a") == 3
+        assert vector.get("a") == pytest.approx(0.3)
+
+    def test_quantisation_never_rounds_above_capacity(self):
+        # Per-entry *nearest* rounding would turn each 0.5 into 2 quanta of
+        # 0.3 (1.2 total > 1 GPU) and reject an allocation whose float total
+        # is exactly the capacity; rounding down keeps it valid.
+        vector = AllocationVector(
+            total_gpus=1.0, quantum=0.3, allocations={"a": 0.5, "b": 0.5}
+        )
+        assert vector.units("a") == 1
+        assert vector.units("b") == 1
+        assert vector.total_allocated <= 1.0
+
+
 class TestJobs:
     def test_job_ids(self):
         assert inference_job_id("cam") == "cam/inference"

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.cluster import AllocationVector
 from repro.configs import InferenceConfig, RetrainingConfig
 from repro.core import (
     ScheduleRequest,
@@ -301,6 +302,27 @@ class TestPickConfigsAcrossStreams:
 
     def test_cache_reuses_per_stream_decisions(self):
         request = self._request()
+        allocation = AllocationVector(
+            total_gpus=1.0,
+            quantum=0.05,
+            allocations={
+                "a/inference": 0.25,
+                "a/retraining": 0.25,
+                "b/inference": 0.25,
+                "b/retraining": 0.25,
+            },
+        )
+        cache = {}
+        first, _ = pick_configs(request, allocation, cache=cache)
+        # Exact integer-quantum keys: (stream, inference units, retraining units).
+        assert set(cache) == {("a", 5, 5), ("b", 5, 5)}
+        second, _ = pick_configs(request, allocation, cache=cache)
+        assert first["a"] is second["a"]
+
+    def test_cache_is_bypassed_for_raw_float_mappings(self):
+        # Rounded-float keys used to alias distinct lattice points; exact
+        # keys need the lattice, so plain mappings are always evaluated.
+        request = self._request()
         allocation = {
             "a/inference": 0.25,
             "a/retraining": 0.25,
@@ -309,9 +331,13 @@ class TestPickConfigsAcrossStreams:
         }
         cache = {}
         first, _ = pick_configs(request, allocation, cache=cache)
-        assert len(cache) == 2
+        assert cache == {}
         second, _ = pick_configs(request, allocation, cache=cache)
-        assert first["a"] is second["a"]
+        assert first["a"] is not second["a"]
+        assert (
+            first["a"].estimated_average_accuracy
+            == second["a"].estimated_average_accuracy
+        )
 
     def test_mean_accuracy_is_mean_of_decisions(self):
         request = self._request()

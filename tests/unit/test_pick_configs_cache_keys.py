@@ -1,0 +1,143 @@
+"""Regression tests for PickConfigs memoisation keys.
+
+The seed implementation keyed its per-stream cache on
+``(stream, round(inference_gpu, 6), round(retraining_gpu, 6))``.  Rounded
+floats are not a faithful identity for lattice points: whenever the
+allocation quantum δ walks below the rounding resolution, *distinct*
+allocations collapse onto the same key (aliasing), so a cached decision
+computed for one allocation is silently returned for another — and repeated
+±Δ steal arithmetic on raw floats can likewise drift two logically-equal
+allocations onto different keys (misses).  The lattice's integer-quantum
+keys are exact by construction.
+"""
+
+import pytest
+
+from repro.cluster import AllocationVector
+from repro.configs import InferenceConfig, RetrainingConfig
+from repro.core import ScheduleRequest, StreamWindowInput, pick_configs, pick_configs_for_stream
+from repro.profiles import RetrainingEstimate, StreamWindowProfile
+
+#: A legal allocation unit below the old keys' 1e-6 rounding resolution.
+TINY_QUANTUM = 2.5e-7
+WINDOW_SECONDS = 200.0
+
+
+def _old_style_key(name, inference_gpu, retraining_gpu):
+    """The seed's cache key scheme (kept here as the regression reference)."""
+    return (name, round(inference_gpu, 6), round(retraining_gpu, 6))
+
+
+def _stream_input():
+    profile = StreamWindowProfile(stream_name="cam", window_index=0, start_accuracy=0.5)
+    # GPU-seconds chosen so that retraining completes inside the window at
+    # two quanta but not at one: the two lattice points demand different
+    # decisions.
+    profile.add(
+        RetrainingEstimate(
+            config=RetrainingConfig(epochs=15),
+            post_retraining_accuracy=0.9,
+            gpu_seconds=TINY_QUANTUM * WINDOW_SECONDS * 1.5,
+        )
+    )
+    return StreamWindowInput(
+        stream_name="cam",
+        profile=profile,
+        inference_configs=[InferenceConfig(frame_sampling_rate=1.0, gpu_demand=0.25)],
+    )
+
+
+def _request():
+    return ScheduleRequest(
+        window_index=0,
+        window_seconds=WINDOW_SECONDS,
+        total_gpus=1.0,
+        delta=TINY_QUANTUM,
+        a_min=0.0,
+        streams={"cam": _stream_input()},
+    )
+
+
+class TestRoundedKeysWereBroken:
+    def test_distinct_lattice_points_alias_under_rounded_keys(self):
+        """One quantum vs two quanta of retraining GPU — different decisions,
+        yet the old rounded keys are identical."""
+        inference_gpu = 0.5
+        one_quantum = 1 * TINY_QUANTUM
+        two_quanta = 2 * TINY_QUANTUM
+        assert one_quantum != two_quanta
+        # The old key scheme cannot tell the allocations apart...
+        assert _old_style_key("cam", inference_gpu, one_quantum) == _old_style_key(
+            "cam", inference_gpu, two_quanta
+        )
+        # ...but Algorithm 2 decides differently for them: retraining only
+        # completes inside the window with the second quantum.
+        stream = _stream_input()
+        starved = pick_configs_for_stream(
+            stream, inference_gpu, one_quantum, window_seconds=WINDOW_SECONDS, a_min=0.0
+        )
+        provisioned = pick_configs_for_stream(
+            stream, inference_gpu, two_quanta, window_seconds=WINDOW_SECONDS, a_min=0.0
+        )
+        assert starved.retraining_config is None
+        assert provisioned.retraining_config is not None
+        assert (
+            provisioned.estimated_average_accuracy
+            > starved.estimated_average_accuracy
+        )
+
+    def test_float_steal_walks_drift_off_the_lattice(self):
+        """Raw ±Δ float accumulation does not even preserve lattice identity:
+        seven additions of Δ produce a different float than 7·Δ, so a key
+        scheme built on the accumulated floats depends on the steal *history*
+        rather than on the allocation itself.  The integer lattice is immune
+        by construction."""
+        accumulated = 0.0
+        for _ in range(7):
+            accumulated += TINY_QUANTUM
+        assert accumulated != 7 * TINY_QUANTUM  # the drift the seed lived with
+        vector = AllocationVector(
+            total_gpus=1.0,
+            quantum=TINY_QUANTUM,
+            allocations={"cam/inference": 0.5, "cam/retraining": 0.0},
+        )
+        for _ in range(7):
+            assert vector.steal_units("cam/retraining", "cam/inference", 1)
+        assert vector.units("cam/retraining") == 7
+        assert vector.get("cam/retraining") == 7 * TINY_QUANTUM
+
+
+class TestLatticeKeysAreExact:
+    def test_lattice_cache_distinguishes_aliased_points(self):
+        request = _request()
+        cache = {}
+        lattice_one = AllocationVector(
+            total_gpus=1.0,
+            quantum=TINY_QUANTUM,
+            allocations={"cam/inference": 0.5, "cam/retraining": 1 * TINY_QUANTUM},
+        )
+        lattice_two = AllocationVector(
+            total_gpus=1.0,
+            quantum=TINY_QUANTUM,
+            allocations={"cam/inference": 0.5, "cam/retraining": 2 * TINY_QUANTUM},
+        )
+        starved, _ = pick_configs(request, lattice_one, cache=cache)
+        provisioned, _ = pick_configs(request, lattice_two, cache=cache)
+        # Two distinct exact keys — no aliasing, no stale decision reuse.
+        assert len(cache) == 2
+        assert starved["cam"].retraining_config is None
+        assert provisioned["cam"].retraining_config is not None
+
+    def test_steal_walk_returns_to_exact_key(self):
+        """A ±Δ round trip on the lattice reproduces the identical key."""
+        vector = AllocationVector(
+            total_gpus=1.0,
+            quantum=TINY_QUANTUM,
+            allocations={"cam/inference": 0.5, "cam/retraining": 100 * TINY_QUANTUM},
+        )
+        before = vector.units_key()
+        for _ in range(57):
+            assert vector.steal_units("cam/inference", "cam/retraining", 1)
+        for _ in range(57):
+            assert vector.steal_units("cam/retraining", "cam/inference", 1)
+        assert vector.units_key() == before

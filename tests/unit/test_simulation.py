@@ -61,6 +61,33 @@ class TestSimulator:
                 total = sum(duration for duration, _ in outcome.timeline)
                 assert total == pytest.approx(200.0)
 
+    def test_outcome_requires_positive_window_duration(self):
+        # Regression: decision_window_seconds used to default to 0.0 until
+        # the simulator backfilled it, so `timeline` silently produced
+        # zero-length segments.  It is now required at construction.
+        result = _simulator().run(1)
+        outcome = next(iter(result.windows[0].outcomes.values()))
+        from dataclasses import replace
+
+        with pytest.raises(SimulationError):
+            replace(outcome, decision_window_seconds=0.0)
+        with pytest.raises(TypeError):
+            from repro.simulation import StreamWindowOutcome
+
+            StreamWindowOutcome(  # decision_window_seconds omitted
+                stream_name=outcome.stream_name,
+                window_index=0,
+                decision=outcome.decision,
+                start_accuracy=outcome.start_accuracy,
+                post_retraining_accuracy=outcome.post_retraining_accuracy,
+                realized_average_accuracy=outcome.realized_average_accuracy,
+                accuracy_during_retraining=outcome.accuracy_during_retraining,
+                accuracy_after_retraining=outcome.accuracy_after_retraining,
+                retraining_duration=outcome.retraining_duration,
+                retraining_completed=outcome.retraining_completed,
+                minimum_instantaneous_accuracy=outcome.minimum_instantaneous_accuracy,
+            )
+
     def test_retraining_state_carries_across_windows(self):
         simulator = _simulator(num_streams=2, num_gpus=2)
         result = simulator.run(4)
