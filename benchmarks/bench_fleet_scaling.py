@@ -1,0 +1,76 @@
+"""Fleet orchestration scaling: 1 → 16 sites, up to 400 concurrent streams.
+
+The ROADMAP north-star is a fleet of edge servers, each running the paper's
+thief scheduler locally while a :class:`~repro.fleet.controller.
+FleetController` owns stream placement globally.  This benchmark sweeps the
+fleet from a single site to 16 sites × 25 streams/site (400 streams), checks
+the whole sweep stays interactive (< 10 s wall-clock for the largest point),
+runs the documented failure scenario (flash crowd + site failure with forced
+evacuation + WAN degradation), and appends both to ``BENCH_fleet.json`` so
+``run_benchmarks.py`` can gate regressions against the committed baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import print_table
+from fleet_bench_core import (
+    NUM_WINDOWS,
+    SITE_COUNTS,
+    STREAMS_PER_SITE,
+    emit_fleet_bench_json,
+    measure_failure_scenario,
+    measure_fleet_scaling,
+)
+
+
+@pytest.mark.benchmark(group="fleet-scaling")
+def test_fleet_scaling_1_to_16_sites(benchmark):
+    rows = benchmark.pedantic(measure_fleet_scaling, rounds=1, iterations=1)
+
+    table = [
+        [
+            row["num_sites"],
+            row["num_streams"],
+            f"{row['wall_clock_seconds']:.2f} s",
+            f"{row['seconds_per_window'] * 1000:.0f} ms",
+            f"{row['mean_accuracy']:.4f}",
+            f"{row['p10_worst_stream_accuracy']:.4f}",
+            row["migration_count"],
+            f"{row['mean_allocation_loss']:.2f}",
+        ]
+        for row in rows
+    ]
+    print_table(
+        f"fleet scaling ({STREAMS_PER_SITE} streams/site, {NUM_WINDOWS} windows)",
+        table,
+        header=[
+            "sites",
+            "streams",
+            "wall",
+            "per window",
+            "accuracy",
+            "p10 worst",
+            "migrations",
+            "quant loss",
+        ],
+    )
+
+    scenario = measure_failure_scenario()
+    path = emit_fleet_bench_json(rows, scenario)
+    print(f"trajectory appended to {path}")
+
+    assert [row["num_sites"] for row in rows] == list(SITE_COUNTS)
+    # The acceptance bound: the largest point (16 sites x 25 streams) must
+    # complete end-to-end in under 10 s wall-clock.
+    largest = rows[-1]
+    assert largest["num_streams"] == 400
+    assert largest["wall_clock_seconds"] < 10.0
+    for row in rows:
+        assert 0.0 < row["mean_accuracy"] <= 1.0
+        assert 0.0 < row["p10_worst_stream_accuracy"] <= row["mean_accuracy"] + 1e-9
+    # The chaos run must have actually evacuated streams and kept serving.
+    assert scenario["evacuated_streams"]
+    assert scenario["migrations_by_reason"].get("evacuation", 0) > 0
+    assert 0.0 < scenario["mean_accuracy"] <= 1.0

@@ -1,0 +1,37 @@
+"""Shared JSON I/O for the benchmark trajectory files and baselines.
+
+Both measurement cores (``scheduler_bench_core``, ``fleet_bench_core``)
+append timestamped entries to a ``{"runs": [...]}`` trajectory at the repo
+root and load optional committed baselines; the read-modify-write logic
+lives here so the envelope format only exists in one place.
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Dict, Optional
+
+
+def append_trajectory(path: Path, entry: Dict) -> Path:
+    """Append a timestamped ``entry`` to the ``runs`` trajectory at ``path``."""
+    path = Path(path)
+    entry = {"timestamp": datetime.now(timezone.utc).isoformat(), **entry}
+    runs = []
+    if path.exists():
+        try:
+            runs = json.loads(path.read_text()).get("runs", [])
+        except (json.JSONDecodeError, AttributeError):
+            runs = []
+    runs.append(entry)
+    path.write_text(json.dumps({"runs": runs}, indent=2) + "\n")
+    return path
+
+
+def load_json_if_exists(path: Path) -> Optional[Dict]:
+    """Parse ``path`` as JSON, or ``None`` when no file is committed there."""
+    path = Path(path)
+    if not path.exists():
+        return None
+    return json.loads(path.read_text())

@@ -1,0 +1,204 @@
+"""Shared measurement core for the fleet-orchestration benchmarks.
+
+Used by ``bench_fleet_scaling.py`` and the ``run_benchmarks.py`` entry point.
+Two measurements:
+
+* :func:`measure_fleet_scaling` — the site sweep (1 → 16 sites at 25
+  streams/site, i.e. up to 400 concurrent streams fleet-wide), recording
+  wall-clock, fleet mean accuracy, the p10 worst-stream accuracy, migrations
+  and quantisation loss for every point.
+* :func:`measure_failure_scenario` — a fixed chaos run (flash crowd, site
+  failure with forced evacuation + recovery, WAN degradation) whose accuracy
+  trajectory documents the migration/recovery behaviour.
+
+Both are deterministic in the seed except for wall-clock, so the committed
+baseline in ``benchmarks/baselines/fleet_baseline.json`` can gate accuracy
+exactly and runtime by ratio.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+_SRC = Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from bench_io import append_trajectory, load_json_if_exists
+
+from repro.fleet import (
+    FlashCrowd,
+    FleetSimulator,
+    Scenario,
+    SiteFailure,
+    WanDegradation,
+    make_fleet,
+)
+
+#: The fleet sweep's shape: 25 streams/site on 4-GPU sites, 3 shared windows.
+SITE_COUNTS = (1, 2, 4, 8, 16)
+STREAMS_PER_SITE = 25
+GPUS_PER_SITE = 4
+NUM_WINDOWS = 3
+SEED = 0
+
+#: Default location of the emitted benchmark trajectory.
+BENCH_FLEET_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_fleet.json"
+FLEET_BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "fleet_baseline.json"
+
+
+def build_fleet_simulator(
+    num_sites: int,
+    streams_per_site: int = STREAMS_PER_SITE,
+    *,
+    scenario: Optional[Scenario] = None,
+    admission: str = "least_loaded",
+    seed: int = SEED,
+) -> FleetSimulator:
+    controller = make_fleet(
+        num_sites,
+        streams_per_site,
+        gpus_per_site=GPUS_PER_SITE,
+        admission=admission,
+        seed=seed,
+    )
+    return FleetSimulator(controller, scenario)
+
+
+def measure_fleet_scaling(site_counts: Sequence[int] = SITE_COUNTS) -> List[Dict]:
+    """Wall-clock / accuracy trajectory for a growing number of sites."""
+    rows = []
+    for num_sites in site_counts:
+        simulator = build_fleet_simulator(num_sites)
+        result = simulator.run(NUM_WINDOWS)
+        wall = result.wall_clock_seconds
+        summary = result.summary()
+        rows.append(
+            {
+                "num_sites": num_sites,
+                "num_streams": num_sites * STREAMS_PER_SITE,
+                "num_windows": NUM_WINDOWS,
+                "wall_clock_seconds": wall,
+                "seconds_per_window": wall / NUM_WINDOWS,
+                "mean_accuracy": summary["mean_accuracy"],
+                "p10_worst_stream_accuracy": summary["p10_worst_stream_accuracy"],
+                "migration_count": summary["migration_count"],
+                "mean_utilization": summary["mean_utilization"],
+                "mean_allocation_loss": summary["mean_allocation_loss"],
+            }
+        )
+    return rows
+
+
+def failure_scenario() -> Scenario:
+    """The documented chaos run: burst, failure + recovery, WAN degradation."""
+    return Scenario(
+        events=[
+            FlashCrowd(window=1, num_streams=8, dataset="urban_traffic"),
+            WanDegradation(window=2, site="site-0", uplink_factor=0.25, until_window=5),
+            SiteFailure(window=3, site="site-1", recovery_window=5),
+        ]
+    )
+
+
+def measure_failure_scenario(
+    *, num_sites: int = 4, streams_per_site: int = 10, num_windows: int = 7
+) -> Dict:
+    """Accuracy trajectory of the chaos run, including the evacuation dip."""
+    simulator = build_fleet_simulator(
+        num_sites, streams_per_site, scenario=failure_scenario()
+    )
+    result = simulator.run(num_windows)
+    evacuated = sorted(
+        {
+            event.stream_name
+            for window in result.windows
+            for event in window.migrations
+            if event.reason == "evacuation"
+        }
+    )
+    per_window_evacuee_accuracy = []
+    for window in result.windows:
+        values = [
+            window.stream_outcomes[name].effective_average_accuracy
+            for name in evacuated
+            if name in window.stream_outcomes
+        ]
+        per_window_evacuee_accuracy.append(
+            sum(values) / len(values) if values else None
+        )
+    summary = result.summary()
+    summary.update(
+        {
+            "per_window_mean_accuracy": [w.mean_accuracy for w in result.windows],
+            "evacuated_streams": evacuated,
+            "per_window_evacuee_accuracy": per_window_evacuee_accuracy,
+        }
+    )
+    return summary
+
+
+def emit_fleet_bench_json(
+    scaling: List[Dict],
+    scenario: Optional[Dict] = None,
+    path: Optional[Path] = None,
+) -> Path:
+    """Append one timestamped entry to the ``BENCH_fleet.json`` trajectory."""
+    entry: Dict = {"scaling": scaling}
+    if scenario is not None:
+        entry["failure_scenario"] = scenario
+    return append_trajectory(path if path is not None else BENCH_FLEET_JSON_PATH, entry)
+
+
+def load_fleet_baseline(path: Optional[Path] = None) -> Optional[Dict]:
+    return load_json_if_exists(path if path is not None else FLEET_BASELINE_PATH)
+
+
+def check_fleet_against_baseline(
+    scaling: List[Dict],
+    baseline: Dict,
+    *,
+    regression_factor: float = 2.0,
+    compare_wall_clock: bool = True,
+) -> List[str]:
+    """Human-readable regression messages against the committed baseline.
+
+    Accuracy metrics are deterministic in the seed, so they are gated
+    exactly; wall-clock is machine-dependent, gated by ratio at the largest
+    common site count and skippable (``compare_wall_clock=False``) on CI
+    hardware that is not comparable to the machine the baseline was
+    recorded on.
+    """
+    failures: List[str] = []
+    base_rows = {row["num_sites"]: row for row in baseline.get("scaling", [])}
+    rows = {row["num_sites"]: row for row in scaling}
+    common = sorted(set(base_rows) & set(rows))
+    if not common:
+        return ["no common site counts between run and committed fleet baseline"]
+    largest = common[-1]
+    run, base = rows[largest], base_rows[largest]
+    if compare_wall_clock and run["wall_clock_seconds"] > regression_factor * base["wall_clock_seconds"]:
+        failures.append(
+            f"fleet sweep at {largest} sites took {run['wall_clock_seconds']:.2f} s, "
+            f"more than {regression_factor:.0f}x the committed baseline "
+            f"({base['wall_clock_seconds']:.2f} s)"
+        )
+    for num_sites in common:
+        run_row, base_row = rows[num_sites], base_rows[num_sites]
+        if run_row["mean_accuracy"] < base_row["mean_accuracy"] - 1e-9:
+            failures.append(
+                f"fleet mean accuracy at {num_sites} sites fell to "
+                f"{run_row['mean_accuracy']:.6f} (baseline {base_row['mean_accuracy']:.6f})"
+            )
+        if (
+            run_row["p10_worst_stream_accuracy"]
+            < base_row["p10_worst_stream_accuracy"] - 1e-9
+        ):
+            failures.append(
+                f"p10 worst-stream accuracy at {num_sites} sites fell to "
+                f"{run_row['p10_worst_stream_accuracy']:.6f} "
+                f"(baseline {base_row['p10_worst_stream_accuracy']:.6f})"
+            )
+    return failures

@@ -1,30 +1,47 @@
 #!/usr/bin/env python
-"""Scheduler benchmark entry point with a committed-regression gate.
+"""Benchmark entry point with committed-regression gates.
 
 Runs the scheduler benchmarks (paper operating point + 10→100-stream
-scaling sweep), appends a timestamped entry to ``BENCH_scheduler.json``, and
+scaling sweep) and the fleet-orchestration sweep (1→16 sites), appends
+timestamped entries to ``BENCH_scheduler.json`` / ``BENCH_fleet.json``, and
 fails (exit code 1) if the scheduler's decision latency at the operating
 point has regressed more than 2× against the committed baseline in
-``benchmarks/baselines/scheduler_baseline.json``.
+``benchmarks/baselines/scheduler_baseline.json``, or the fleet sweep has
+regressed against ``benchmarks/baselines/fleet_baseline.json``.
 
-The gate compares *relative* quantities wherever possible — the wall-clock
-speedup over the same-machine seed-path port, and the PickConfigs evaluation
-count, which is deterministic — so the check is meaningful on hardware other
-than the one the baseline was recorded on.  The raw runtime comparison is
-also applied because CI typically re-runs on comparable machines.
+The gates compare *relative* quantities wherever possible — the wall-clock
+speedup over the same-machine seed-path port, the PickConfigs evaluation
+count and the (seed-deterministic) accuracies — so the check is meaningful
+on hardware other than the one the baseline was recorded on.  Raw runtime
+comparisons are additionally applied on developer machines, but skipped
+when the ``CI`` environment variable is set: shared CI runners are not
+comparable to the machine the baselines were recorded on.
+
+``--quick`` runs the scheduler operating point only (no scaling sweeps, no
+fleet) — the smoke mode CI uses on every PR.
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/run_benchmarks.py [--no-check] \
+    PYTHONPATH=src python benchmarks/run_benchmarks.py [--no-check] [--quick] \
         [--output BENCH_scheduler.json] [--baseline benchmarks/baselines/scheduler_baseline.json]
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 
+from fleet_bench_core import (
+    BENCH_FLEET_JSON_PATH,
+    FLEET_BASELINE_PATH,
+    check_fleet_against_baseline,
+    emit_fleet_bench_json,
+    load_fleet_baseline,
+    measure_failure_scenario,
+    measure_fleet_scaling,
+)
 from scheduler_bench_core import (
     BASELINE_PATH,
     BENCH_JSON_PATH,
@@ -39,14 +56,27 @@ from scheduler_bench_core import (
 REGRESSION_FACTOR = 2.0
 
 
-def check_against_baseline(operating_point: dict, baseline: dict) -> list:
+def _on_ci() -> bool:
+    """Whether we are running on CI hardware (GitHub Actions sets ``CI``).
+
+    The committed baselines were recorded on a developer machine; shared CI
+    runners are routinely slower, so raw wall-clock comparisons would fail
+    spuriously there.  The machine-independent gates (seed-path speedup,
+    PickConfigs evaluation counts, accuracies) still apply everywhere.
+    """
+    return os.environ.get("CI", "").strip().lower() in ("1", "true", "yes")
+
+
+def check_against_baseline(
+    operating_point: dict, baseline: dict, *, compare_raw_runtime: bool = True
+) -> list:
     """Return a list of human-readable regression messages (empty = pass)."""
     failures = []
     base_op = baseline.get("operating_point", {})
 
     base_runtime = base_op.get("scheduler_runtime_seconds")
     runtime = operating_point["scheduler_runtime_seconds"]
-    if base_runtime and runtime > REGRESSION_FACTOR * base_runtime:
+    if compare_raw_runtime and base_runtime and runtime > REGRESSION_FACTOR * base_runtime:
         failures.append(
             f"scheduler runtime {runtime * 1000:.1f} ms is more than "
             f"{REGRESSION_FACTOR:.0f}x the committed baseline "
@@ -98,6 +128,23 @@ def main(argv=None) -> int:
         action="store_true",
         help="record the run without gating against the baseline",
     )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="operating point only: skip the stream-scaling and fleet sweeps",
+    )
+    parser.add_argument(
+        "--fleet-output",
+        type=Path,
+        default=BENCH_FLEET_JSON_PATH,
+        help="fleet trajectory JSON to append to (default: repo-root BENCH_fleet.json)",
+    )
+    parser.add_argument(
+        "--fleet-baseline",
+        type=Path,
+        default=FLEET_BASELINE_PATH,
+        help="committed fleet baseline to gate against",
+    )
     args = parser.parse_args(argv)
 
     print("measuring operating point (10 streams x 8 GPUs x 18 configs, delta=0.1)...")
@@ -109,31 +156,74 @@ def main(argv=None) -> int:
         f"speedup vs seed path {operating_point['wall_clock_speedup']:.1f}x"
     )
 
-    print("measuring scaling sweep (10 -> 100 streams)...")
-    scaling = measure_scaling()
-    for row in scaling:
-        print(
-            f"  {row['num_streams']:4d} streams: "
-            f"{row['scheduler_runtime_seconds'] * 1000:8.1f} ms | "
-            f"evaluations {row['pick_configs_evaluations']}"
-        )
+    scaling = []
+    fleet_scaling = []
+    if args.quick:
+        # Smoke mode gates but does not record: a quick run has no scaling
+        # sweeps, and appending degenerate entries would pollute the
+        # committed trajectories.
+        print("quick mode: trajectories not recorded")
+    else:
+        print("measuring scaling sweep (10 -> 100 streams)...")
+        scaling = measure_scaling()
+        for row in scaling:
+            print(
+                f"  {row['num_streams']:4d} streams: "
+                f"{row['scheduler_runtime_seconds'] * 1000:8.1f} ms | "
+                f"evaluations {row['pick_configs_evaluations']}"
+            )
+        path = emit_bench_json(operating_point, scaling, args.output)
+        print(f"trajectory appended to {path}")
 
-    path = emit_bench_json(operating_point, scaling, args.output)
-    print(f"trajectory appended to {path}")
+        print("measuring fleet scaling sweep (1 -> 16 sites, 25 streams/site)...")
+        fleet_scaling = measure_fleet_scaling()
+        for row in fleet_scaling:
+            print(
+                f"  {row['num_sites']:3d} sites / {row['num_streams']:3d} streams: "
+                f"{row['wall_clock_seconds']:6.2f} s | "
+                f"accuracy {row['mean_accuracy']:.4f} | "
+                f"p10 {row['p10_worst_stream_accuracy']:.4f} | "
+                f"migrations {row['migration_count']}"
+            )
+        print("measuring fleet failure scenario (flash crowd + site failure + WAN)...")
+        scenario = measure_failure_scenario()
+        print(
+            f"  {len(scenario['evacuated_streams'])} streams evacuated | "
+            f"accuracy {scenario['mean_accuracy']:.4f} | "
+            f"migration cost {scenario['total_migration_seconds']:.0f} s"
+        )
+        fleet_path = emit_fleet_bench_json(fleet_scaling, scenario, args.fleet_output)
+        print(f"fleet trajectory appended to {fleet_path}")
 
     if args.no_check:
         return 0
+    compare_raw = not _on_ci()
+    if not compare_raw:
+        print("CI environment detected: raw wall-clock gates skipped (relative gates still apply)")
+    failures = []
     baseline = load_baseline(args.baseline)
     if baseline is None:
-        print(f"no committed baseline at {args.baseline}; skipping the gate")
-        return 0
-    failures = check_against_baseline(operating_point, baseline)
+        print(f"no committed baseline at {args.baseline}; skipping the scheduler gate")
+    else:
+        failures.extend(
+            check_against_baseline(operating_point, baseline, compare_raw_runtime=compare_raw)
+        )
+    if not args.quick:
+        fleet_baseline = load_fleet_baseline(args.fleet_baseline)
+        if fleet_baseline is None:
+            print(f"no committed fleet baseline at {args.fleet_baseline}; skipping the fleet gate")
+        else:
+            failures.extend(
+                check_fleet_against_baseline(
+                    fleet_scaling, fleet_baseline, compare_wall_clock=compare_raw
+                )
+            )
     if failures:
         print("REGRESSION DETECTED:")
         for message in failures:
             print(f"  - {message}")
         return 1
-    print("no regression against the committed baseline")
+    print("no regression against the committed baselines")
     return 0
 
 

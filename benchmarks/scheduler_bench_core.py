@@ -11,10 +11,8 @@ machine, making the reported speedups load- and hardware-independent.
 
 from __future__ import annotations
 
-import json
 import sys
 import time
-from datetime import datetime, timezone
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -22,6 +20,7 @@ _SRC = Path(__file__).resolve().parents[1] / "src"
 if str(_SRC) not in sys.path:
     sys.path.insert(0, str(_SRC))
 
+from bench_io import append_trajectory, load_json_if_exists
 from repro.cluster import EdgeServerSpec, GPUFleet, inference_job_id, place_jobs, retraining_job_id
 from repro.configs import ConfigurationSpace, default_inference_configs, default_retraining_grid
 from repro.core import EkyaPolicy, OracleProfileSource, ThiefScheduler
@@ -198,25 +197,9 @@ def emit_bench_json(
     path: Optional[Path] = None,
 ) -> Path:
     """Append one timestamped entry to the ``BENCH_scheduler.json`` trajectory."""
-    path = Path(path) if path is not None else BENCH_JSON_PATH
-    entry = {
-        "timestamp": datetime.now(timezone.utc).isoformat(),
-        "operating_point": operating_point,
-        "scaling": scaling,
-    }
-    trajectory = []
-    if path.exists():
-        try:
-            trajectory = json.loads(path.read_text()).get("runs", [])
-        except (json.JSONDecodeError, AttributeError):
-            trajectory = []
-    trajectory.append(entry)
-    path.write_text(json.dumps({"runs": trajectory}, indent=2) + "\n")
-    return path
+    entry = {"operating_point": operating_point, "scaling": scaling}
+    return append_trajectory(path if path is not None else BENCH_JSON_PATH, entry)
 
 
 def load_baseline(path: Optional[Path] = None) -> Optional[Dict]:
-    path = Path(path) if path is not None else BASELINE_PATH
-    if not path.exists():
-        return None
-    return json.loads(path.read_text())
+    return load_json_if_exists(path if path is not None else BASELINE_PATH)

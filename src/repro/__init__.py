@@ -15,6 +15,8 @@ The package is organised around the paper's structure:
   the per-window controller and every baseline the paper compares against.
 * :mod:`repro.simulation` — the trace-driven simulator and the experiment
   harness that regenerates each table and figure of the evaluation.
+* :mod:`repro.fleet` — multi-site fleet orchestration above the paper's
+  single server: stream admission, WAN-aware migration, failure scenarios.
 
 Quickstart::
 
@@ -25,12 +27,13 @@ Quickstart::
     print(result.mean_accuracy)
 """
 
-from . import cluster, configs, core, datasets, models, profiles, simulation, utils
+from . import cluster, configs, core, datasets, fleet, models, profiles, simulation, utils
 from .cluster import EdgeServer, EdgeServerSpec
 from .configs import ConfigurationSpace, InferenceConfig, RetrainingConfig
 from .core import EkyaPolicy, MicroProfiler, OracleProfileSource, ThiefScheduler, UniformPolicy
 from .datasets import VideoStream, make_workload
 from .exceptions import ReproError
+from .fleet import FleetController, FleetSimulator, make_fleet
 from .profiles import AnalyticDynamics, SubstrateDynamics
 from .simulation import Simulator, run_experiment
 
@@ -41,6 +44,7 @@ __all__ = [
     "configs",
     "core",
     "datasets",
+    "fleet",
     "models",
     "profiles",
     "simulation",
@@ -58,6 +62,9 @@ __all__ = [
     "VideoStream",
     "make_workload",
     "ReproError",
+    "FleetController",
+    "FleetSimulator",
+    "make_fleet",
     "AnalyticDynamics",
     "SubstrateDynamics",
     "Simulator",

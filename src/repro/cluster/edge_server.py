@@ -63,10 +63,21 @@ class EdgeServerSpec:
 
 
 class EdgeServer:
-    """One edge server hosting inference + retraining for several streams."""
+    """One edge server hosting inference + retraining for several streams.
 
-    def __init__(self, spec: EdgeServerSpec, streams: Sequence[VideoStream]) -> None:
-        if not streams:
+    ``allow_empty`` relaxes the at-least-one-stream requirement: a fleet site
+    starts with no streams and receives them through admission/migration, so
+    its server must exist (GPUs and all) before any stream is attached.
+    """
+
+    def __init__(
+        self,
+        spec: EdgeServerSpec,
+        streams: Sequence[VideoStream],
+        *,
+        allow_empty: bool = False,
+    ) -> None:
+        if not streams and not allow_empty:
             raise SchedulingError("an edge server needs at least one attached stream")
         names = [stream.name for stream in streams]
         if len(set(names)) != len(names):
@@ -91,6 +102,20 @@ class EdgeServer:
     def stream(self, name: str) -> VideoStream:
         try:
             return self._streams[name]
+        except KeyError as exc:
+            raise SchedulingError(f"no stream named {name!r} on this server") from exc
+
+    # -------------------------------------------------------------- mutation
+    def attach_stream(self, stream: VideoStream) -> None:
+        """Attach a newly admitted or migrated-in stream."""
+        if stream.name in self._streams:
+            raise SchedulingError(f"stream {stream.name!r} is already attached")
+        self._streams[stream.name] = stream
+
+    def detach_stream(self, name: str) -> VideoStream:
+        """Detach a stream (migration out / site evacuation) and return it."""
+        try:
+            return self._streams.pop(name)
         except KeyError as exc:
             raise SchedulingError(f"no stream named {name!r} on this server") from exc
 

@@ -96,7 +96,11 @@ def place_jobs(
     free: Dict[int, float] = {gpu.gpu_id: gpu.capacity for gpu in fleet.gpus}
     placement = Placement(requested=dict(requested), quantized=dict(quantized))
 
-    for job_id, demand in sorted(quantized.items(), key=lambda item: item[1], reverse=True):
+    # Sort by descending demand with the job id as tie-breaker: ``sorted`` is
+    # stable, so without the explicit tie-break equal demands would pack in
+    # dict-insertion order and the same workload could place differently
+    # depending on how the caller assembled its request map.
+    for job_id, demand in sorted(quantized.items(), key=lambda item: (-item[1], item[0])):
         if demand <= EPSILON:
             placement.assignments[job_id] = []
             continue

@@ -10,7 +10,6 @@ policy is also provided as a lower bound and for capacity accounting.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Sequence
 
 from ..cluster.edge_server import EdgeServerSpec
@@ -23,6 +22,7 @@ from .microprofiler import ProfileSource
 from .pick_configs import pick_inference_config
 from .policy import ProfiledPolicy
 from .types import StreamDecision, WindowSchedule
+from ..utils.clock import Clock, Stopwatch
 
 
 #: The two fixed retraining configurations used by the uniform baselines.
@@ -51,7 +51,7 @@ def even_stream_share(total_gpus: float, num_streams: int) -> float:
     return total_gpus / num_streams
 
 
-def finalize_window_schedule(request, decisions: Dict[str, StreamDecision], started: float) -> WindowSchedule:
+def finalize_window_schedule(request, decisions: Dict[str, StreamDecision], watch: Stopwatch) -> WindowSchedule:
     """Assemble and validate a single-pass baseline's :class:`WindowSchedule`.
 
     Shared by the uniform-family policies, which all evaluate every stream
@@ -62,7 +62,7 @@ def finalize_window_schedule(request, decisions: Dict[str, StreamDecision], star
         window_index=request.window_index,
         decisions=decisions,
         estimated_average_accuracy=mean_accuracy,
-        scheduler_runtime_seconds=time.perf_counter() - started,
+        scheduler_runtime_seconds=watch.elapsed(),
         iterations=1,
         pick_configs_evaluations=len(decisions),
     )
@@ -86,12 +86,14 @@ class UniformPolicy(ProfiledPolicy):
         retraining_config: RetrainingConfig = UNIFORM_CONFIG_2,
         inference_share: float = 0.5,
         name: Optional[str] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         super().__init__(profile_source, config_space)
         if not 0.0 < inference_share <= 1.0:
             raise SchedulingError("inference_share must be in (0, 1]")
         self._retraining_config = retraining_config
         self._inference_share = inference_share
+        self._clock = clock
         config_label = retraining_config.name or "fixed"
         self.name = name or f"uniform ({config_label}, {int(round(inference_share * 100))}%)"
 
@@ -110,7 +112,7 @@ class UniformPolicy(ProfiledPolicy):
         spec: EdgeServerSpec,
     ) -> WindowSchedule:
         request = self.build_request(streams, window_index, spec)
-        started = time.perf_counter()
+        watch = Stopwatch(self._clock)
         per_stream = even_stream_share(request.total_gpus, len(request.streams))
         inference_gpu = per_stream * self._inference_share
         retraining_gpu = per_stream - inference_gpu
@@ -147,7 +149,7 @@ class UniformPolicy(ProfiledPolicy):
                 estimated_average_accuracy=evaluation.average_accuracy,
             )
 
-        return finalize_window_schedule(request, decisions, started)
+        return finalize_window_schedule(request, decisions, watch)
 
     def _matching_config(self, available) -> Optional[RetrainingConfig]:
         """Find the profiled configuration matching the fixed choice."""
@@ -172,9 +174,11 @@ class NoRetrainingPolicy(ProfiledPolicy):
         config_space: ConfigurationSpace | None = None,
         *,
         name: str = "no-retraining",
+        clock: Optional[Clock] = None,
     ) -> None:
         super().__init__(profile_source, config_space)
         self.name = name
+        self._clock = clock
 
     def plan_window(
         self,
@@ -183,7 +187,7 @@ class NoRetrainingPolicy(ProfiledPolicy):
         spec: EdgeServerSpec,
     ) -> WindowSchedule:
         request = self.build_request(streams, window_index, spec)
-        started = time.perf_counter()
+        watch = Stopwatch(self._clock)
         per_stream = even_stream_share(request.total_gpus, len(request.streams))
         decisions: Dict[str, StreamDecision] = {}
         for name, stream_input in request.streams.items():
@@ -203,7 +207,7 @@ class NoRetrainingPolicy(ProfiledPolicy):
                 inference_gpu=per_stream,
                 estimated_average_accuracy=evaluation.average_accuracy,
             )
-        return finalize_window_schedule(request, decisions, started)
+        return finalize_window_schedule(request, decisions, watch)
 
 
 def standard_uniform_baselines(

@@ -12,7 +12,6 @@ window at the stale model's accuracy.
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Sequence
 
 from ..cluster.edge_server import EdgeServerSpec
@@ -21,6 +20,7 @@ from ..configs.space import ConfigurationSpace
 from ..datasets.stream import VideoStream
 from ..exceptions import SchedulingError
 from ..models.edge_model import EDGE_MODEL_SIZE_MBITS
+from ..utils.clock import Clock, Stopwatch
 from .estimator import estimate_stream_average_accuracy
 from .microprofiler import ProfileSource
 from .pick_configs import pick_inference_config
@@ -41,6 +41,11 @@ class CloudRetrainingPolicy(ProfiledPolicy):
         worked example: 4 Mbps HD video, 10 % subsampling).
     model_size_mbits:
         Size of the model downloaded after cloud retraining.
+    clock:
+        Clock used to measure the scheduler's own runtime.  Defaults to the
+        system monotonic clock; tests inject a
+        :class:`~repro.utils.clock.ManualClock` so simulation results are
+        deterministic-comparable field for field.
     """
 
     def __init__(
@@ -53,6 +58,7 @@ class CloudRetrainingPolicy(ProfiledPolicy):
         sample_fraction: float = 0.1,
         model_size_mbits: float = EDGE_MODEL_SIZE_MBITS,
         name: Optional[str] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         super().__init__(profile_source, config_space)
         if stream_bitrate_mbps <= 0 or model_size_mbits <= 0:
@@ -63,6 +69,7 @@ class CloudRetrainingPolicy(ProfiledPolicy):
         self._stream_bitrate = stream_bitrate_mbps
         self._sample_fraction = sample_fraction
         self._model_size_mbits = model_size_mbits
+        self._clock = clock
         self.name = name or f"cloud ({link.name})"
 
     @property
@@ -109,7 +116,7 @@ class CloudRetrainingPolicy(ProfiledPolicy):
         spec: EdgeServerSpec,
     ) -> WindowSchedule:
         request = self.build_request(streams, window_index, spec)
-        started = time.perf_counter()
+        watch = Stopwatch(self._clock)
         per_stream_gpu = request.total_gpus / len(request.streams)
         arrivals = self.model_arrival_times(len(request.streams), request.window_seconds)
 
@@ -155,7 +162,7 @@ class CloudRetrainingPolicy(ProfiledPolicy):
             window_index=request.window_index,
             decisions=decisions,
             estimated_average_accuracy=mean_accuracy,
-            scheduler_runtime_seconds=time.perf_counter() - started,
+            scheduler_runtime_seconds=watch.elapsed(),
             iterations=1,
         )
         schedule.validate_against(request)

@@ -15,7 +15,6 @@ Figure 8:
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Optional, Sequence
 
 from ..cluster.edge_server import EdgeServerSpec
@@ -24,6 +23,7 @@ from ..configs.retraining import RetrainingConfig
 from ..configs.space import ConfigurationSpace
 from ..datasets.stream import VideoStream
 from ..exceptions import SchedulingError
+from ..utils.clock import Clock, Stopwatch
 from .baselines import even_stream_share
 from .microprofiler import ProfileSource
 from .pick_configs import pick_configs, pick_configs_for_stream
@@ -45,11 +45,13 @@ class EkyaPolicy(ProfiledPolicy):
         inference_share_when_fixed: float = 0.5,
         fixed_retraining_config: Optional[RetrainingConfig] = None,
         name: Optional[str] = None,
+        clock: Optional[Clock] = None,
     ) -> None:
         super().__init__(profile_source, config_space)
         if not 0.0 < inference_share_when_fixed < 1.0:
             raise SchedulingError("inference_share_when_fixed must be in (0, 1)")
-        self._scheduler = ThiefScheduler(steal_quantum=steal_quantum)
+        self._clock = clock
+        self._scheduler = ThiefScheduler(steal_quantum=steal_quantum, clock=clock)
         self._fixed_resources = fixed_resources
         self._inference_share = inference_share_when_fixed
         self._fixed_config = fixed_retraining_config
@@ -91,7 +93,7 @@ class EkyaPolicy(ProfiledPolicy):
 
     def _plan_with_fixed_resources(self, request: ScheduleRequest) -> WindowSchedule:
         """Static per-stream split, configuration choice still profile-driven."""
-        started = time.perf_counter()
+        watch = Stopwatch(self._clock)
         per_stream = even_stream_share(request.total_gpus, len(request.streams))
         allocation: Dict[str, float] = {}
         for name in request.streams:
@@ -102,7 +104,7 @@ class EkyaPolicy(ProfiledPolicy):
             window_index=request.window_index,
             decisions=decisions,
             estimated_average_accuracy=accuracy,
-            scheduler_runtime_seconds=time.perf_counter() - started,
+            scheduler_runtime_seconds=watch.elapsed(),
             iterations=1,
         )
         schedule.validate_against(request)

@@ -25,12 +25,12 @@ Hot-path implementation notes (the behaviour is the paper's Algorithm 1):
 
 from __future__ import annotations
 
-import time
 from typing import Dict, List, Optional, Tuple
 
 from ..cluster.jobs import inference_job_id, retraining_job_id
 from ..cluster.resources import AllocationVector
 from ..exceptions import SchedulingError
+from ..utils.clock import Clock, Stopwatch
 from ..utils.math_utils import safe_mean
 from .candidate_table import CandidateTable, build_candidate_tables
 from .pick_configs import IMPROVEMENT_EPS as _IMPROVEMENT_EPS
@@ -60,6 +60,9 @@ class ThiefScheduler(Scheduler):
         local minimum where a retraining job needs several quanta before its
         retraining can complete inside the window at all, so nothing improves
         until the allocation crosses that threshold.
+    clock:
+        Clock used to measure ``scheduler_runtime_seconds``; tests inject a
+        :class:`~repro.utils.clock.ManualClock` for deterministic schedules.
     """
 
     name = "ekya-thief"
@@ -71,6 +74,7 @@ class ThiefScheduler(Scheduler):
         release_retraining_gpu_to_inference: bool = True,
         max_rounds: int = 1,
         patience: int = 4,
+        clock: Optional[Clock] = None,
     ) -> None:
         if steal_quantum is not None and steal_quantum <= 0:
             raise SchedulingError("steal_quantum must be positive")
@@ -82,6 +86,7 @@ class ThiefScheduler(Scheduler):
         self._release = release_retraining_gpu_to_inference
         self._max_rounds = max_rounds
         self._patience = patience
+        self._clock = clock
 
     # ------------------------------------------------------------- interface
     @staticmethod
@@ -107,7 +112,7 @@ class ThiefScheduler(Scheduler):
         )
 
     def schedule(self, request: ScheduleRequest) -> WindowSchedule:
-        started = time.perf_counter()
+        watch = Stopwatch(self._clock)
         quantum = self._steal_quantum if self._steal_quantum is not None else request.delta
         quantum = min(quantum, request.total_gpus)
 
@@ -212,7 +217,7 @@ class ThiefScheduler(Scheduler):
             estimated_average_accuracy=safe_mean(
                 [d.estimated_average_accuracy for d in decisions.values()]
             ),
-            scheduler_runtime_seconds=time.perf_counter() - started,
+            scheduler_runtime_seconds=watch.elapsed(),
             iterations=iterations,
             pick_configs_evaluations=sum(table.evaluations for table in tables.values()),
         )

@@ -45,3 +45,8 @@ class SimulationError(ReproError):
 
 class CheckpointError(ReproError):
     """Saving or restoring a model checkpoint failed."""
+
+
+class FleetError(ReproError):
+    """The fleet orchestration layer hit an inconsistent state (e.g. a stream
+    admitted to an unknown site, or no healthy site left to evacuate to)."""

@@ -1,0 +1,63 @@
+"""Fleet orchestration: many edge sites, one shared window timeline.
+
+The paper's system schedules retraining + inference on a single edge server;
+this package is the layer above it for production-scale deployments — a
+:class:`FleetController` that owns N :class:`EdgeSite` s, admits streams via
+pluggable :class:`AdmissionPolicy` s, migrates streams between sites at
+window boundaries (paying real WAN transfer cost for model checkpoint +
+profile), and a :class:`FleetSimulator` that advances all sites window by
+window while applying injected scenario events (flash crowds, site failures
+with forced evacuation, WAN degradation).  Each site's thief-scheduler hot
+path runs completely unchanged.
+"""
+
+from .admission import (
+    AccuracyGreedyAdmission,
+    AdmissionPolicy,
+    LeastLoadedAdmission,
+    RandomAdmission,
+)
+from .controller import FleetController
+from .factory import ADMISSION_NAMES, build_admission, make_fleet
+from .metrics import (
+    FleetResult,
+    FleetStreamOutcome,
+    FleetWindowResult,
+    SiteWindowStats,
+)
+from .migration import PROFILE_SIZE_MBITS, MigrationCostModel, MigrationEvent
+from .scenarios import (
+    FlashCrowd,
+    Scenario,
+    ScenarioEvent,
+    SiteFailure,
+    WanDegradation,
+)
+from .simulator import FleetSimulator
+from .site import EdgeSite, SiteSpec
+
+__all__ = [
+    "AccuracyGreedyAdmission",
+    "AdmissionPolicy",
+    "LeastLoadedAdmission",
+    "RandomAdmission",
+    "FleetController",
+    "ADMISSION_NAMES",
+    "build_admission",
+    "make_fleet",
+    "FleetResult",
+    "FleetStreamOutcome",
+    "FleetWindowResult",
+    "SiteWindowStats",
+    "PROFILE_SIZE_MBITS",
+    "MigrationCostModel",
+    "MigrationEvent",
+    "FlashCrowd",
+    "Scenario",
+    "ScenarioEvent",
+    "SiteFailure",
+    "WanDegradation",
+    "FleetSimulator",
+    "EdgeSite",
+    "SiteSpec",
+]

@@ -1,0 +1,265 @@
+"""The fleet controller: stream ownership across many edge sites.
+
+The paper schedules one edge server; the fleet controller is the layer above
+it, deciding *which site owns which stream* while every site's thief
+scheduler keeps optimising its own window locally.  Responsibilities:
+
+* **Admission** — every new stream (initial rollout, flash crowds) is placed
+  on a healthy site by the pluggable
+  :class:`~repro.fleet.admission.AdmissionPolicy`.
+* **Rebalancing** — at window boundaries, streams migrate from overloaded
+  sites (streams-per-GPU above ``overload_factor`` × the fleet mean) to the
+  least-loaded healthy site, paying the WAN transfer cost of their model
+  checkpoint + profile.
+* **Failure handling** — a failed site's streams are force-evacuated to the
+  survivors; a recovered site re-enters admission and rebalancing.
+
+The controller shares one accuracy-dynamics substrate across all sites, so a
+migrated stream keeps its serving-model state — that is precisely what the
+checkpoint + profile transfer pays for.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..datasets.generators import make_stream
+from ..datasets.stream import VideoStream
+from ..exceptions import FleetError
+from ..profiles.dynamics import StreamDynamics
+from .admission import AdmissionPolicy
+from .migration import MigrationCostModel, MigrationEvent
+from .site import EdgeSite
+
+
+class FleetController:
+    """Owns N edge sites and the stream → site assignment between windows."""
+
+    def __init__(
+        self,
+        sites: Sequence[EdgeSite],
+        *,
+        dynamics: StreamDynamics,
+        admission: AdmissionPolicy,
+        migration_cost: MigrationCostModel = MigrationCostModel(),
+        overload_factor: float = 1.5,
+        max_migrations_per_window: int = 4,
+        stream_factory: Callable[..., VideoStream] = make_stream,
+        seed: int = 0,
+    ) -> None:
+        if not sites:
+            raise FleetError("a fleet needs at least one site")
+        names = [site.name for site in sites]
+        if len(set(names)) != len(names):
+            raise FleetError("site names must be unique")
+        durations = {site.spec.window_duration for site in sites}
+        if len(durations) != 1:
+            raise FleetError(
+                "all sites must share one window_duration — the fleet advances "
+                "on a single shared window timeline"
+            )
+        if overload_factor < 1.0:
+            raise FleetError("overload_factor must be >= 1")
+        if max_migrations_per_window < 0:
+            raise FleetError("max_migrations_per_window must be non-negative")
+        self._sites: Dict[str, EdgeSite] = {site.name: site for site in sites}
+        self._dynamics = dynamics
+        self._admission = admission
+        self._migration_cost = migration_cost
+        self._overload_factor = overload_factor
+        self._max_migrations = max_migrations_per_window
+        self._stream_factory = stream_factory
+        self._seed = seed
+        self._stream_site: Dict[str, str] = {}
+        self._next_index: Dict[str, int] = {}
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def sites(self) -> List[EdgeSite]:
+        return list(self._sites.values())
+
+    @property
+    def healthy_sites(self) -> List[EdgeSite]:
+        return [site for site in self._sites.values() if site.healthy]
+
+    @property
+    def dynamics(self) -> StreamDynamics:
+        return self._dynamics
+
+    @property
+    def admission_policy(self) -> AdmissionPolicy:
+        return self._admission
+
+    @property
+    def migration_cost(self) -> MigrationCostModel:
+        return self._migration_cost
+
+    @property
+    def window_duration(self) -> float:
+        return next(iter(self._sites.values())).spec.window_duration
+
+    @property
+    def num_streams(self) -> int:
+        return len(self._stream_site)
+
+    def site(self, name: str) -> EdgeSite:
+        try:
+            return self._sites[name]
+        except KeyError as exc:
+            raise FleetError(f"no site named {name!r} in this fleet") from exc
+
+    def site_of(self, stream_name: str) -> EdgeSite:
+        try:
+            return self._sites[self._stream_site[stream_name]]
+        except KeyError as exc:
+            raise FleetError(f"stream {stream_name!r} is not admitted to this fleet") from exc
+
+    # -------------------------------------------------------------- admission
+    def admit(
+        self,
+        stream: VideoStream,
+        window_index: int,
+        *,
+        site: Optional[str] = None,
+    ) -> EdgeSite:
+        """Place one new stream on a healthy site and attach it there."""
+        if stream.name in self._stream_site:
+            raise FleetError(f"stream {stream.name!r} is already admitted")
+        if site is not None:
+            target = self.site(site)
+            if not target.healthy:
+                raise FleetError(f"cannot admit to failed site {site!r}")
+        else:
+            target = self._admission.choose_site(stream, self.healthy_sites, window_index)
+        target.attach(stream)
+        self._stream_site[stream.name] = target.name
+        return target
+
+    def admit_all(self, streams: Sequence[VideoStream], window_index: int = 0) -> None:
+        for stream in streams:
+            self.admit(stream, window_index)
+
+    def spawn_streams(
+        self,
+        dataset: str,
+        count: int,
+        window_index: int,
+        *,
+        site: Optional[str] = None,
+    ) -> List[VideoStream]:
+        """Create and admit ``count`` fresh streams (flash-crowd arrivals)."""
+        admitted: List[VideoStream] = []
+        for _ in range(count):
+            index = self._next_index.get(dataset, 0)
+            while f"{dataset}-{index}" in self._stream_site:
+                index += 1
+            self._next_index[dataset] = index + 1
+            stream = self._stream_factory(
+                dataset,
+                index,
+                seed=self._seed,
+                window_duration=self.window_duration,
+            )
+            self.admit(stream, window_index, site=site)
+            admitted.append(stream)
+        return admitted
+
+    # -------------------------------------------------------------- migration
+    def _migrate(
+        self,
+        stream_name: str,
+        destination: EdgeSite,
+        window_index: int,
+        reason: str,
+    ) -> MigrationEvent:
+        source = self.site_of(stream_name)
+        if source.name == destination.name:
+            raise FleetError(f"stream {stream_name!r} is already on {destination.name!r}")
+        stream = source.detach(stream_name)
+        destination.attach(stream)
+        self._stream_site[stream_name] = destination.name
+        event = MigrationEvent(
+            stream_name=stream_name,
+            source=source.name,
+            destination=destination.name,
+            window_index=window_index,
+            transfer_seconds=self._migration_cost.transfer_seconds(
+                source.link, destination.link
+            ),
+            reason=reason,
+        )
+        return event
+
+    def rebalance(self, window_index: int) -> List[MigrationEvent]:
+        """Migrate streams off overloaded sites at a window boundary.
+
+        A site is overloaded when its streams-per-GPU exceeds
+        ``overload_factor`` × the healthy-fleet mean load.  Each migration
+        moves the overloaded site's currently worst-served stream (lowest
+        stale-model accuracy this window — it has the least to lose from the
+        transfer and the most to gain from a less contended site) to the
+        least-loaded healthy site.  At most ``max_migrations_per_window``
+        streams move per boundary so the fleet never thrashes.
+        """
+        events: List[MigrationEvent] = []
+        healthy = self.healthy_sites
+        if len(healthy) < 2:
+            return events
+        while len(events) < self._max_migrations:
+            loads = [site.load for site in healthy]
+            mean_load = sum(loads) / len(loads)
+            source = max(healthy, key=lambda site: (site.load, site.name))
+            destination = min(healthy, key=lambda site: (site.load, site.name))
+            if source.num_streams < 2 or mean_load <= 0:
+                break
+            if source.load <= self._overload_factor * mean_load:
+                break
+            # Moving one stream must actually close the gap, else the same
+            # stream would bounce between the two sites forever.
+            gap_after = (source.load - 1.0 / source.spec.num_gpus) - (
+                destination.load + 1.0 / destination.spec.num_gpus
+            )
+            if gap_after < 0:
+                break
+            victim = min(
+                source.stream_names,
+                key=lambda name: (
+                    self._dynamics.start_accuracy(source.server.stream(name), window_index),
+                    name,
+                ),
+            )
+            events.append(self._migrate(victim, destination, window_index, "overload"))
+        return events
+
+    # ---------------------------------------------------------------- failure
+    def fail_site(self, name: str, window_index: int) -> List[MigrationEvent]:
+        """Mark a site failed and force-evacuate every stream it owned."""
+        site = self.site(name)
+        if not site.healthy:
+            return []
+        site.fail()
+        events: List[MigrationEvent] = []
+        for stream_name in sorted(site.stream_names):
+            survivors = self.healthy_sites
+            if not survivors:
+                raise FleetError(
+                    f"site {name!r} failed and no healthy site is left to "
+                    f"evacuate {stream_name!r} to"
+                )
+            stream = site.server.stream(stream_name)
+            destination = self._admission.choose_site(stream, survivors, window_index)
+            events.append(self._migrate(stream_name, destination, window_index, "evacuation"))
+        return events
+
+    def recover_site(self, name: str) -> EdgeSite:
+        """Bring a failed site back; rebalancing will repopulate it."""
+        site = self.site(name)
+        site.recover()
+        return site
+
+    def __repr__(self) -> str:
+        healthy = sum(1 for site in self._sites.values() if site.healthy)
+        return (
+            f"FleetController(sites={len(self._sites)}, healthy={healthy}, "
+            f"streams={self.num_streams}, admission={self._admission.name!r})"
+        )

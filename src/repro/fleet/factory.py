@@ -1,0 +1,130 @@
+"""Convenience constructors for fleet simulations.
+
+Mirrors :func:`repro.simulation.experiments.make_setup` one level up: build a
+whole fleet — N sites running Ekya's thief scheduler against one shared
+analytic accuracy substrate, an admission policy, and the initial workload
+already admitted — from scalar knobs.  Benchmarks, examples and tests all go
+through this, so fleet experiments are reproducible from (shape, seed) alone.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+from ..cluster.network import NetworkLink
+from ..core.controller import EkyaPolicy
+from ..core.microprofiler import OracleProfileSource
+from ..datasets.generators import make_workload
+from ..exceptions import FleetError
+from ..profiles.dynamics import AnalyticDynamics, StreamDynamics
+from ..simulation.experiments import DEFAULT_PROFILER_ERROR_STD, make_config_space
+from ..utils.clock import Clock
+from ..utils.rng import SeedLike
+from .admission import (
+    AccuracyGreedyAdmission,
+    AdmissionPolicy,
+    LeastLoadedAdmission,
+    RandomAdmission,
+)
+from .controller import FleetController
+from .migration import MigrationCostModel
+from .site import EdgeSite, SiteSpec
+
+#: Admission-policy names accepted by :func:`build_admission` / :func:`make_fleet`.
+ADMISSION_NAMES = ("least_loaded", "accuracy_greedy", "random")
+
+
+def build_admission(
+    name: str, dynamics: StreamDynamics, *, seed: SeedLike = 0
+) -> AdmissionPolicy:
+    """Instantiate an admission policy by its canonical name."""
+    if name == "least_loaded":
+        return LeastLoadedAdmission()
+    if name == "accuracy_greedy":
+        return AccuracyGreedyAdmission(dynamics)
+    if name == "random":
+        return RandomAdmission(seed=seed)
+    raise FleetError(f"unknown admission policy {name!r}; expected one of {ADMISSION_NAMES}")
+
+
+def make_fleet(
+    num_sites: int,
+    streams_per_site: int,
+    *,
+    dataset: str = "cityscapes",
+    gpus_per_site: int = 4,
+    delta: float = 0.1,
+    a_min: float = 0.4,
+    window_duration: float = 200.0,
+    admission: Union[str, AdmissionPolicy] = "least_loaded",
+    migration_cost: MigrationCostModel = MigrationCostModel(),
+    overload_factor: float = 1.5,
+    max_migrations_per_window: int = 4,
+    links: Optional[Sequence[NetworkLink]] = None,
+    seed: int = 0,
+    profiler_error_std: float = DEFAULT_PROFILER_ERROR_STD,
+    verify_placement: bool = True,
+    clock: Optional[Clock] = None,
+) -> FleetController:
+    """Build a fleet of Ekya sites with the initial workload already admitted.
+
+    Every site runs the full Ekya policy (oracle-profiled thief scheduler)
+    over one shared :class:`~repro.profiles.dynamics.AnalyticDynamics`
+    substrate — sharing the substrate is what makes migration meaningful: a
+    stream's serving-model state follows it across sites, paid for by the
+    checkpoint + profile WAN transfer.
+
+    ``links`` optionally assigns one WAN link per site (cycled if shorter);
+    the default leaves every site on the :class:`SiteSpec` default link.
+    ``clock`` is threaded through to every site's scheduler, so injecting a
+    :class:`~repro.utils.clock.ManualClock` (and passing the same clock to
+    :class:`~repro.fleet.simulator.FleetSimulator`) makes fleet results —
+    including every ``scheduler_runtime_seconds`` — bit-identical across runs.
+    """
+    if num_sites < 1:
+        raise FleetError("num_sites must be >= 1")
+    if streams_per_site < 0:
+        raise FleetError("streams_per_site must be non-negative")
+    dynamics = AnalyticDynamics(seed=seed)
+    profile_source = OracleProfileSource(
+        dynamics, accuracy_error_std=profiler_error_std, seed=seed + 1
+    )
+    policy = EkyaPolicy(
+        profile_source, make_config_space(), steal_quantum=delta, name="Ekya", clock=clock
+    )
+    sites = []
+    for index in range(num_sites):
+        spec_kwargs = dict(
+            name=f"site-{index}",
+            num_gpus=gpus_per_site,
+            delta=delta,
+            min_inference_accuracy=a_min,
+            window_duration=window_duration,
+        )
+        if links:
+            spec_kwargs["link"] = links[index % len(links)]
+        sites.append(
+            EdgeSite(
+                SiteSpec(**spec_kwargs),
+                dynamics=dynamics,
+                policy=policy,
+                verify_placement=verify_placement,
+            )
+        )
+    if isinstance(admission, str):
+        admission = build_admission(admission, dynamics, seed=seed + 2)
+    controller = FleetController(
+        sites,
+        dynamics=dynamics,
+        admission=admission,
+        migration_cost=migration_cost,
+        overload_factor=overload_factor,
+        max_migrations_per_window=max_migrations_per_window,
+        seed=seed,
+    )
+    total_streams = num_sites * streams_per_site
+    if total_streams:
+        controller.admit_all(
+            make_workload(dataset, total_streams, seed=seed, window_duration=window_duration)
+        )
+    return controller

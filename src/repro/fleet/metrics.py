@@ -1,0 +1,187 @@
+"""Fleet-level results and metrics.
+
+Mirrors the per-server result dataclasses in
+:mod:`repro.simulation.simulator` one level up: a
+:class:`FleetWindowResult` aggregates every site's
+:class:`~repro.simulation.simulator.WindowResult` for one shared window plus
+the migrations that happened at its boundary, and a :class:`FleetResult`
+rolls the run up into the metrics the fleet evaluation cares about — fleet
+mean accuracy, the p10 worst-stream accuracy (tail quality, which admission
+and migration policies trade against the mean), per-site utilisation,
+quantisation loss, and migration count/cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..simulation.simulator import StreamWindowOutcome, WindowResult
+from ..utils.math_utils import safe_mean
+from .migration import MigrationEvent
+
+
+@dataclass(frozen=True)
+class FleetStreamOutcome:
+    """One stream's realised window outcome plus its migration history.
+
+    Migration cost is realised *inside* the site's window execution: the
+    fleet simulator hands each migrated-in stream's summed WAN transfer time
+    to :meth:`repro.simulation.simulator.Simulator.run_window` as a
+    retraining start delay, so the retrained model lands transfer + training
+    time into the window — or not at all, in which case the dynamics are not
+    advanced either.  ``effective_average_accuracy`` is therefore exactly
+    the site's realised value; the migration events are kept here so tail
+    and cost metrics can attribute the hit.  A stream bounced more than once
+    at one boundary (evacuation followed by an overload rebalance) paid
+    every hop's transfer.
+    """
+
+    stream_name: str
+    site: str
+    outcome: StreamWindowOutcome
+    migrations: Tuple[MigrationEvent, ...] = ()
+
+    @property
+    def transfer_seconds(self) -> float:
+        """Total WAN transfer this stream paid at this window's boundary."""
+        return float(sum(event.transfer_seconds for event in self.migrations))
+
+    @property
+    def effective_average_accuracy(self) -> float:
+        return self.outcome.realized_average_accuracy
+
+    @property
+    def migrated(self) -> bool:
+        return bool(self.migrations)
+
+
+@dataclass(frozen=True)
+class SiteWindowStats:
+    """Operational statistics of one site over one window."""
+
+    site: str
+    num_streams: int
+    #: GPU fraction of the site's capacity the schedule actually allocated.
+    utilization: float
+    #: GPU fraction lost to placement quantisation this window.
+    allocation_loss: float
+    mean_accuracy: float
+    scheduler_runtime_seconds: float
+
+
+@dataclass
+class FleetWindowResult:
+    """Everything that happened across the fleet in one shared window."""
+
+    window_index: int
+    site_results: Dict[str, WindowResult] = field(default_factory=dict)
+    site_stats: Dict[str, SiteWindowStats] = field(default_factory=dict)
+    stream_outcomes: Dict[str, FleetStreamOutcome] = field(default_factory=dict)
+    migrations: List[MigrationEvent] = field(default_factory=list)
+    failed_sites: List[str] = field(default_factory=list)
+    admitted_streams: List[str] = field(default_factory=list)
+
+    @property
+    def mean_accuracy(self) -> float:
+        """Migration-cost-adjusted mean accuracy over every served stream."""
+        return safe_mean(
+            [o.effective_average_accuracy for o in self.stream_outcomes.values()]
+        )
+
+    @property
+    def num_streams(self) -> int:
+        return len(self.stream_outcomes)
+
+    @property
+    def migration_seconds(self) -> float:
+        return float(sum(event.transfer_seconds for event in self.migrations))
+
+    @property
+    def allocation_loss(self) -> float:
+        """Fleet-wide GPU fraction lost to placement quantisation this window."""
+        return float(sum(stats.allocation_loss for stats in self.site_stats.values()))
+
+
+@dataclass
+class FleetResult:
+    """Aggregate outcome of a multi-window fleet simulation."""
+
+    admission_policy: str
+    num_sites: int
+    windows: List[FleetWindowResult] = field(default_factory=list)
+    #: Wall-clock the fleet layer spent (scheduling + simulation, all sites).
+    wall_clock_seconds: float = 0.0
+
+    # ----------------------------------------------------------- accuracy
+    @property
+    def mean_accuracy(self) -> float:
+        """Fleet headline metric: accuracy over windows and served streams."""
+        return safe_mean([w.mean_accuracy for w in self.windows])
+
+    @property
+    def per_stream_accuracy(self) -> Dict[str, float]:
+        totals: Dict[str, List[float]] = {}
+        for window in self.windows:
+            for name, outcome in window.stream_outcomes.items():
+                totals.setdefault(name, []).append(outcome.effective_average_accuracy)
+        return {name: safe_mean(values) for name, values in totals.items()}
+
+    def worst_stream_accuracy(self, percentile: float = 10.0) -> float:
+        """Tail quality: the given percentile of per-stream mean accuracies."""
+        values = list(self.per_stream_accuracy.values())
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values, dtype=float), percentile))
+
+    # ---------------------------------------------------------- migrations
+    @property
+    def migration_count(self) -> int:
+        return sum(len(w.migrations) for w in self.windows)
+
+    @property
+    def total_migration_seconds(self) -> float:
+        return float(sum(w.migration_seconds for w in self.windows))
+
+    def migrations_by_reason(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for window in self.windows:
+            for event in window.migrations:
+                counts[event.reason] = counts.get(event.reason, 0) + 1
+        return counts
+
+    # --------------------------------------------------------- utilisation
+    @property
+    def mean_utilization_by_site(self) -> Dict[str, float]:
+        """Mean allocated-GPU fraction per site over the windows it served."""
+        totals: Dict[str, List[float]] = {}
+        for window in self.windows:
+            for name, stats in window.site_stats.items():
+                totals.setdefault(name, []).append(stats.utilization)
+        return {name: safe_mean(values) for name, values in totals.items()}
+
+    @property
+    def mean_allocation_loss(self) -> float:
+        """Mean fleet-wide per-window GPU fraction lost to quantisation."""
+        return safe_mean([w.allocation_loss for w in self.windows])
+
+    # -------------------------------------------------------------- export
+    def summary(self) -> Dict[str, object]:
+        """Flat JSON-friendly summary (benchmark trajectories, examples)."""
+        utilization = self.mean_utilization_by_site
+        return {
+            "admission_policy": self.admission_policy,
+            "num_sites": self.num_sites,
+            "num_windows": len(self.windows),
+            "num_streams": max((w.num_streams for w in self.windows), default=0),
+            "mean_accuracy": self.mean_accuracy,
+            "p10_worst_stream_accuracy": self.worst_stream_accuracy(10.0),
+            "migration_count": self.migration_count,
+            "total_migration_seconds": self.total_migration_seconds,
+            "migrations_by_reason": self.migrations_by_reason(),
+            "mean_utilization": safe_mean(list(utilization.values())),
+            "mean_allocation_loss": self.mean_allocation_loss,
+            "wall_clock_seconds": self.wall_clock_seconds,
+        }

@@ -1,0 +1,74 @@
+"""Migration of a stream's serving state between fleet sites.
+
+Moving a stream is not free: the destination site needs the stream's current
+model checkpoint (so it can keep serving and warm-start retraining) and its
+accumulated profile history (so the micro-profiler does not start cold).
+Both travel over the WAN — up the source site's uplink, down the destination
+site's downlink — and until they arrive the stream keeps serving at the
+stale model's accuracy and any scheduled retraining cannot start, which is
+exactly how :class:`~repro.fleet.metrics.FleetStreamOutcome` accounts the
+cost: the post-retraining accuracy segment of the window is delayed by the
+transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.network import NetworkLink
+from ..exceptions import FleetError
+from ..models.edge_model import EDGE_MODEL_SIZE_MBITS
+
+#: Size of a stream's accumulated profile history (per-configuration accuracy
+#: curves and GPU-time measurements) — small next to the model checkpoint.
+PROFILE_SIZE_MBITS = 2.0
+
+
+@dataclass(frozen=True)
+class MigrationCostModel:
+    """What a migration ships and how long that takes over the WAN."""
+
+    checkpoint_mbits: float = EDGE_MODEL_SIZE_MBITS
+    profile_mbits: float = PROFILE_SIZE_MBITS
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_mbits <= 0:
+            raise FleetError("checkpoint_mbits must be positive")
+        if self.profile_mbits < 0:
+            raise FleetError("profile_mbits must be non-negative")
+
+    @property
+    def payload_mbits(self) -> float:
+        return self.checkpoint_mbits + self.profile_mbits
+
+    def transfer_seconds(self, source_link: NetworkLink, destination_link: NetworkLink) -> float:
+        """Seconds to ship checkpoint + profile from source to destination.
+
+        The payload leaves over the source site's uplink and arrives over the
+        destination site's downlink; both legs pay their link's RTT.  WAN
+        degradation scenarios scale either link's bandwidth, so a migration
+        out of (or into) a degraded site takes correspondingly longer.
+        """
+        return source_link.upload_seconds(self.payload_mbits) + destination_link.download_seconds(
+            self.payload_mbits
+        )
+
+
+@dataclass(frozen=True)
+class MigrationEvent:
+    """One completed stream hand-off between two sites."""
+
+    stream_name: str
+    source: str
+    destination: str
+    window_index: int
+    transfer_seconds: float
+    #: Why the stream moved: ``"overload"`` (rebalancing), ``"evacuation"``
+    #: (site failure) — admission of a brand-new stream is not a migration.
+    reason: str
+
+    def __post_init__(self) -> None:
+        if self.source == self.destination:
+            raise FleetError("migration source and destination must differ")
+        if self.transfer_seconds < 0:
+            raise FleetError("transfer_seconds must be non-negative")

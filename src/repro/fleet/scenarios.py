@@ -1,0 +1,95 @@
+"""Injected scenario events for fleet simulations.
+
+A :class:`Scenario` is a declarative list of events pinned to window indices
+on the fleet's shared timeline.  The :class:`~repro.fleet.simulator.
+FleetSimulator` applies each window's events before scheduling that window:
+
+* :class:`FlashCrowd` — a burst of new streams arrives and must be admitted
+  (optionally aimed at one site, e.g. a stadium camera cluster coming online).
+* :class:`SiteFailure` — a site goes dark; its streams are force-evacuated to
+  the surviving sites, paying full migration cost, and the site optionally
+  comes back at ``recovery_window``.
+* :class:`WanDegradation` — a site's WAN bandwidth is scaled down (congestion,
+  backhaul fault), making migrations in and out of it more expensive, until
+  an optional ``until_window``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Union
+
+from ..exceptions import FleetError
+
+
+@dataclass(frozen=True)
+class FlashCrowd:
+    """``num_streams`` new streams of ``dataset`` arrive at ``window``."""
+
+    window: int
+    num_streams: int
+    dataset: str = "cityscapes"
+    #: Admit all arrivals to this site instead of asking the admission policy
+    #: (models a geographically pinned burst).  ``None`` = policy decides.
+    site: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise FleetError("event window must be non-negative")
+        if self.num_streams < 1:
+            raise FleetError("a flash crowd needs at least one stream")
+
+
+@dataclass(frozen=True)
+class SiteFailure:
+    """Site ``site`` fails at ``window`` and optionally recovers later."""
+
+    window: int
+    site: str
+    recovery_window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise FleetError("event window must be non-negative")
+        if self.recovery_window is not None and self.recovery_window <= self.window:
+            raise FleetError("recovery_window must be after the failure window")
+
+
+@dataclass(frozen=True)
+class WanDegradation:
+    """Scale ``site``'s WAN bandwidth by the given factors from ``window`` on.
+
+    Factors apply to the site's *provisioned* link, so a later degradation on
+    the same site replaces (does not compose with) an earlier one, and the
+    latest event's ``until_window`` is the one that restores the link.
+    """
+
+    window: int
+    site: str
+    uplink_factor: float = 1.0
+    downlink_factor: float = 1.0
+    #: Window at which the link returns to its provisioned bandwidth
+    #: (``None`` = degraded for the rest of the run).
+    until_window: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.window < 0:
+            raise FleetError("event window must be non-negative")
+        if self.uplink_factor <= 0 or self.downlink_factor <= 0:
+            raise FleetError("bandwidth factors must be positive")
+        if self.until_window is not None and self.until_window <= self.window:
+            raise FleetError("until_window must be after the degradation window")
+
+
+ScenarioEvent = Union[FlashCrowd, SiteFailure, WanDegradation]
+
+
+@dataclass
+class Scenario:
+    """An ordered collection of scenario events on the shared fleet timeline."""
+
+    events: List[ScenarioEvent] = field(default_factory=list)
+
+    def events_at(self, window_index: int) -> List[ScenarioEvent]:
+        """Events that fire at the start of ``window_index``, in listed order."""
+        return [event for event in self.events if event.window == window_index]

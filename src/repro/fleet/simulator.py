@@ -1,0 +1,193 @@
+"""Event-driven multi-site fleet simulation on a shared window timeline.
+
+The :class:`FleetSimulator` advances every site of a
+:class:`~repro.fleet.controller.FleetController` window by window.  At each
+window boundary, in order:
+
+1. expiring effects are restored (site recoveries, WAN restorations),
+2. the window's injected scenario events fire (site failures with forced
+   evacuation, flash-crowd arrivals, WAN degradations),
+3. the controller rebalances overloaded sites,
+4. every healthy, non-idle site plans and executes its window through the
+   unchanged single-server :class:`~repro.simulation.simulator.Simulator` /
+   thief-scheduler path — migrated-in streams' summed WAN transfer time is
+   handed to it as a retraining start delay, so the migration cost (delayed
+   or forfeited retraining benefit) is realised inside the site execution
+   and stays consistent with the committed model state,
+5. transfer time beyond the window carries over as next window's start
+   delay until the checkpoint has fully arrived.
+
+Everything is deterministic given the construction seeds except wall-clock
+measurements, which all go through the injectable clock from
+:mod:`repro.utils.clock`: this simulator's ``FleetResult.wall_clock_seconds``
+uses the ``clock`` passed here, and each site's
+``scheduler_runtime_seconds`` uses the clock given to
+:func:`~repro.fleet.factory.make_fleet`.  Pass the same
+:class:`~repro.utils.clock.ManualClock` to both and fleet results are
+bit-identical field for field across runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..exceptions import FleetError
+from ..utils.clock import Clock, Stopwatch
+from ..utils.math_utils import safe_mean
+from .controller import FleetController
+from .metrics import FleetResult, FleetStreamOutcome, FleetWindowResult, SiteWindowStats
+from .migration import MigrationEvent
+from .scenarios import FlashCrowd, Scenario, SiteFailure, WanDegradation
+
+
+class FleetSimulator:
+    """Executes scenario events and per-site window simulation for a fleet.
+
+    When several failure or WAN events target the same site, the *latest*
+    event owns the site's state: its expiry (``recovery_window`` /
+    ``until_window``) is the one that fires, and expiries scheduled by
+    superseded earlier events are ignored — a re-degraded link does not snap
+    back to full bandwidth when the first degradation would have ended.
+    """
+
+    def __init__(
+        self,
+        controller: FleetController,
+        scenario: Optional[Scenario] = None,
+        *,
+        clock: Optional[Clock] = None,
+    ) -> None:
+        self._controller = controller
+        self._scenario = scenario or Scenario()
+        self._clock = clock
+        #: window -> [(site, owning event)] expiries; an expiry only fires if
+        #: its event still owns the site's state (latest event wins).
+        self._pending_recoveries: Dict[int, List[tuple]] = {}
+        self._pending_wan_restores: Dict[int, List[tuple]] = {}
+        self._failure_owner: Dict[str, SiteFailure] = {}
+        self._wan_owner: Dict[str, WanDegradation] = {}
+        #: Transfer seconds still in flight past a window boundary (a WAN
+        #: transfer longer than one window keeps delaying retraining until
+        #: the checkpoint has fully arrived).
+        self._carryover_delays: Dict[str, float] = {}
+
+    @property
+    def controller(self) -> FleetController:
+        return self._controller
+
+    @property
+    def scenario(self) -> Scenario:
+        return self._scenario
+
+    # -------------------------------------------------------------- execution
+    def run(self, num_windows: int, *, start_window: int = 0) -> FleetResult:
+        """Simulate ``num_windows`` consecutive shared retraining windows."""
+        if num_windows < 1:
+            raise FleetError("num_windows must be >= 1")
+        if start_window < 0:
+            raise FleetError("start_window must be non-negative")
+        watch = Stopwatch(self._clock)
+        result = FleetResult(
+            admission_policy=self._controller.admission_policy.name,
+            num_sites=len(self._controller.sites),
+        )
+        for window_index in range(start_window, start_window + num_windows):
+            result.windows.append(self.run_window(window_index))
+        result.wall_clock_seconds = watch.elapsed()
+        return result
+
+    def run_window(self, window_index: int) -> FleetWindowResult:
+        """Apply events, rebalance, and execute one shared window."""
+        controller = self._controller
+        migrations: List[MigrationEvent] = []
+        admitted: List[str] = []
+
+        self._restore_expired(window_index)
+        for event in self._scenario.events_at(window_index):
+            if isinstance(event, SiteFailure):
+                migrations.extend(controller.fail_site(event.site, window_index))
+                self._failure_owner[event.site] = event
+                if event.recovery_window is not None:
+                    self._pending_recoveries.setdefault(event.recovery_window, []).append(
+                        (event.site, event)
+                    )
+            elif isinstance(event, WanDegradation):
+                controller.site(event.site).degrade_wan(
+                    event.uplink_factor, event.downlink_factor
+                )
+                self._wan_owner[event.site] = event
+                if event.until_window is not None:
+                    self._pending_wan_restores.setdefault(event.until_window, []).append(
+                        (event.site, event)
+                    )
+            elif isinstance(event, FlashCrowd):
+                streams = controller.spawn_streams(
+                    event.dataset, event.num_streams, window_index, site=event.site
+                )
+                admitted.extend(stream.name for stream in streams)
+            else:  # pragma: no cover - the Scenario union is closed
+                raise FleetError(f"unknown scenario event {event!r}")
+
+        migrations.extend(controller.rebalance(window_index))
+
+        fleet_window = FleetWindowResult(
+            window_index=window_index,
+            migrations=migrations,
+            admitted_streams=admitted,
+            failed_sites=[site.name for site in controller.sites if not site.healthy],
+        )
+        # A stream can move more than once at one boundary (evacuation, then
+        # the survivor rebalances it away again) — it pays every hop: its
+        # retraining cannot start until the summed transfer time has passed,
+        # which also means a run that no longer fits the window is neither
+        # realised nor committed to the dynamics.  Transfer still in flight
+        # from an earlier window (over a badly degraded WAN a checkpoint can
+        # take more than one window to arrive) is added on top.
+        migrated_into: Dict[str, List[MigrationEvent]] = {}
+        for event in migrations:
+            migrated_into.setdefault(event.stream_name, []).append(event)
+        delays: Dict[str, float] = dict(self._carryover_delays)
+        for name, events in migrated_into.items():
+            delays[name] = delays.get(name, 0.0) + sum(
+                event.transfer_seconds for event in events
+            )
+        window_seconds = controller.window_duration
+        self._carryover_delays = {
+            name: delay - window_seconds
+            for name, delay in delays.items()
+            if delay > window_seconds
+        }
+        for site in controller.sites:
+            window_result = site.run_window(window_index, retraining_delays=delays)
+            if window_result is None:
+                continue
+            fleet_window.site_results[site.name] = window_result
+            fleet_window.site_stats[site.name] = SiteWindowStats(
+                site=site.name,
+                num_streams=site.num_streams,
+                utilization=window_result.schedule.total_gpu_allocated / site.spec.num_gpus,
+                allocation_loss=window_result.allocation_loss,
+                mean_accuracy=safe_mean(
+                    [o.realized_average_accuracy for o in window_result.outcomes.values()]
+                ),
+                scheduler_runtime_seconds=window_result.schedule.scheduler_runtime_seconds,
+            )
+            for name, outcome in window_result.outcomes.items():
+                fleet_window.stream_outcomes[name] = FleetStreamOutcome(
+                    stream_name=name,
+                    site=site.name,
+                    outcome=outcome,
+                    migrations=tuple(migrated_into.get(name, ())),
+                )
+        return fleet_window
+
+    # --------------------------------------------------------------- internal
+    def _restore_expired(self, window_index: int) -> None:
+        for name, event in self._pending_recoveries.pop(window_index, []):
+            if self._failure_owner.get(name) is event:
+                self._controller.recover_site(name)
+                del self._failure_owner[name]
+        for name, event in self._pending_wan_restores.pop(window_index, []):
+            if self._wan_owner.get(name) is event:
+                self._controller.site(name).restore_wan()
+                del self._wan_owner[name]

@@ -1,0 +1,161 @@
+"""One edge site of a multi-site fleet.
+
+An :class:`EdgeSite` wraps the single-server stack the paper evaluates — an
+:class:`~repro.cluster.edge_server.EdgeServer`, a window policy (Ekya's thief
+scheduler by default) and the trace-driven
+:class:`~repro.simulation.simulator.Simulator` — behind a mutable-membership
+facade: streams are attached by the fleet controller at admission time and
+move between sites through migration or evacuation.  The per-site scheduling
+hot path runs completely unchanged; the fleet layer only decides *which*
+streams each site owns in each window.
+
+Sites also carry operational state the fleet scenarios manipulate: a health
+flag (site failure/recovery) and a WAN link whose bandwidth can be degraded,
+which is what migrations into and out of the site pay for checkpoint and
+profile transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional
+
+from ..cluster.edge_server import EdgeServer, EdgeServerSpec
+from ..cluster.network import CELLULAR_4G_X2, NetworkLink
+from ..core.policy import WindowPolicy
+from ..datasets.stream import VideoStream
+from ..exceptions import FleetError
+from ..profiles.dynamics import StreamDynamics
+from ..simulation.simulator import Simulator, WindowResult
+
+
+@dataclass(frozen=True)
+class SiteSpec:
+    """Static description of one fleet site.
+
+    Attributes
+    ----------
+    name:
+        Unique site identifier (used in migration events and metrics).
+    num_gpus / delta / min_inference_accuracy / window_duration:
+        Forwarded to :class:`~repro.cluster.edge_server.EdgeServerSpec`.
+        Every site of a fleet must share the same ``window_duration`` — the
+        fleet advances all sites on one shared window timeline.
+    link:
+        WAN link connecting the site to the backbone.  Migrations upload the
+        stream's model checkpoint and profile over the source site's uplink
+        and download them over the destination's downlink.
+    """
+
+    name: str
+    num_gpus: int = 4
+    delta: float = 0.1
+    min_inference_accuracy: float = 0.4
+    window_duration: float = 200.0
+    link: NetworkLink = CELLULAR_4G_X2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("site name must be non-empty")
+
+    def server_spec(self) -> EdgeServerSpec:
+        return EdgeServerSpec(
+            num_gpus=self.num_gpus,
+            delta=self.delta,
+            min_inference_accuracy=self.min_inference_accuracy,
+            window_duration=self.window_duration,
+        )
+
+
+class EdgeSite:
+    """A single edge server plus the fleet-facing state around it."""
+
+    def __init__(
+        self,
+        spec: SiteSpec,
+        *,
+        dynamics: StreamDynamics,
+        policy: WindowPolicy,
+        verify_placement: bool = True,
+    ) -> None:
+        self.spec = spec
+        self._server = EdgeServer(spec.server_spec(), [], allow_empty=True)
+        self._simulator = Simulator(
+            self._server, dynamics, policy, verify_placement=verify_placement
+        )
+        self.healthy = True
+        self.link = spec.link
+
+    # ------------------------------------------------------------- accessors
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def server(self) -> EdgeServer:
+        return self._server
+
+    @property
+    def streams(self) -> List[VideoStream]:
+        return self._server.streams
+
+    @property
+    def stream_names(self) -> List[str]:
+        return self._server.stream_names
+
+    @property
+    def num_streams(self) -> int:
+        return self._server.num_streams
+
+    @property
+    def load(self) -> float:
+        """Streams per GPU — the overload signal the controller rebalances on."""
+        return self._server.num_streams / self.spec.num_gpus
+
+    # ------------------------------------------------------------ membership
+    def attach(self, stream: VideoStream) -> None:
+        if not self.healthy:
+            raise FleetError(f"cannot attach a stream to failed site {self.name!r}")
+        self._server.attach_stream(stream)
+
+    def detach(self, stream_name: str) -> VideoStream:
+        return self._server.detach_stream(stream_name)
+
+    # ------------------------------------------------------------- execution
+    def run_window(
+        self,
+        window_index: int,
+        *,
+        retraining_delays: Optional[Mapping[str, float]] = None,
+    ) -> Optional[WindowResult]:
+        """Plan and execute one retraining window; ``None`` if idle or failed.
+
+        ``retraining_delays`` carries the WAN transfer time of streams that
+        migrated in at this window's boundary — their retraining cannot start
+        until checkpoint + profile have arrived.
+        """
+        if not self.healthy or self._server.num_streams == 0:
+            return None
+        return self._simulator.run_window(window_index, retraining_delays=retraining_delays)
+
+    # --------------------------------------------------------------- health
+    def fail(self) -> None:
+        self.healthy = False
+
+    def recover(self) -> None:
+        self.healthy = True
+
+    # ------------------------------------------------------------------ WAN
+    def degrade_wan(self, uplink_factor: float = 1.0, downlink_factor: float = 1.0) -> None:
+        """Scale the site's WAN bandwidth (factors < 1 degrade the link)."""
+        self.link = self.spec.link.scaled(uplink_factor, downlink_factor)
+
+    def restore_wan(self) -> None:
+        self.link = self.spec.link
+
+    def __repr__(self) -> str:
+        state = "healthy" if self.healthy else "FAILED"
+        return (
+            f"EdgeSite(name={self.name!r}, gpus={self.spec.num_gpus}, "
+            f"streams={self.num_streams}, {state})"
+        )

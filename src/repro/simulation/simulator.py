@@ -16,7 +16,7 @@ how it hurts the real system), not as mis-measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..cluster.edge_server import EdgeServer, EdgeServerSpec
 from ..cluster.placement import place_jobs
@@ -77,6 +77,10 @@ class WindowResult:
     window_index: int
     schedule: WindowSchedule
     outcomes: Dict[str, StreamWindowOutcome] = field(default_factory=dict)
+    #: GPU fraction lost to inverse-power-of-two quantisation when the
+    #: schedule was packed onto physical devices (``Placement.allocation_loss``).
+    #: 0.0 when placement verification is disabled.
+    allocation_loss: float = 0.0
 
     @property
     def mean_accuracy(self) -> float:
@@ -111,6 +115,16 @@ class SimulationResult:
     @property
     def mean_scheduler_runtime(self) -> float:
         return safe_mean([w.schedule.scheduler_runtime_seconds for w in self.windows])
+
+    @property
+    def mean_allocation_loss(self) -> float:
+        """Mean per-window GPU fraction lost to placement quantisation."""
+        return safe_mean([w.allocation_loss for w in self.windows])
+
+    @property
+    def total_allocation_loss(self) -> float:
+        """Total GPU fraction lost to placement quantisation over the run."""
+        return float(sum(w.allocation_loss for w in self.windows))
 
     @property
     def total_retrainings(self) -> int:
@@ -186,20 +200,38 @@ class Simulator:
             result.windows.append(self.run_window(window_index))
         return result
 
-    def run_window(self, window_index: int) -> WindowResult:
-        """Plan and execute a single retraining window."""
+    def run_window(
+        self,
+        window_index: int,
+        *,
+        retraining_delays: Optional[Mapping[str, float]] = None,
+    ) -> WindowResult:
+        """Plan and execute a single retraining window.
+
+        ``retraining_delays`` maps stream names to seconds their retraining
+        cannot start into the window (the fleet layer uses this for the WAN
+        transfer of a migrated stream's checkpoint + profile).  The delay
+        extends the retraining's wall-clock completion, so a run that no
+        longer fits the window realises no benefit *and* is not committed to
+        the dynamics — realised accuracy and model state stay consistent.
+        """
         spec = self._server.spec
         streams = self._server.streams
         schedule = self._policy.plan_window(streams, window_index, spec)
+        allocation_loss = 0.0
         if self._verify_placement:
             # The schedule must be physically placeable onto the GPUs after
             # quantisation; raises PlacementError otherwise.
-            place_jobs(schedule.allocation_map(), self._server.fleet)
+            placement = place_jobs(schedule.allocation_map(), self._server.fleet)
+            allocation_loss = placement.allocation_loss()
 
-        window_result = WindowResult(window_index=window_index, schedule=schedule)
+        window_result = WindowResult(
+            window_index=window_index, schedule=schedule, allocation_loss=allocation_loss
+        )
         for stream in streams:
             decision = schedule.decision_for(stream.name)
-            outcome = self._execute_stream(stream, window_index, decision, spec)
+            delay = retraining_delays.get(stream.name, 0.0) if retraining_delays else 0.0
+            outcome = self._execute_stream(stream, window_index, decision, spec, delay=delay)
             window_result.outcomes[stream.name] = outcome
             completed_config = (
                 decision.retraining_config if outcome.retraining_completed else None
@@ -214,6 +246,8 @@ class Simulator:
         window_index: int,
         decision: StreamDecision,
         spec: EdgeServerSpec,
+        *,
+        delay: float = 0.0,
     ) -> StreamWindowOutcome:
         start_accuracy = self._dynamics.start_accuracy(stream, window_index)
         post_accuracy: Optional[float] = None
@@ -225,6 +259,15 @@ class Simulator:
             gpu_seconds = self._dynamics.retraining_gpu_seconds(
                 stream, window_index, decision.retraining_config
             )
+        # A start delay turns the allocation-driven duration into a fixed
+        # wall-clock completion time (the estimator's external path), so the
+        # retrained model lands delay + training time into the window.
+        external = decision.external_completion_seconds
+        if delay > 0:
+            if external is not None:
+                external += delay
+            elif decision.retraining_gpu > 0 and gpu_seconds > 0:
+                external = delay + gpu_seconds / decision.retraining_gpu
         estimate = estimate_stream_average_accuracy(
             start_accuracy=start_accuracy,
             post_retraining_accuracy=post_accuracy,
@@ -233,7 +276,7 @@ class Simulator:
             inference_gpu=decision.inference_gpu,
             retraining_gpu=decision.retraining_gpu,
             window_seconds=spec.window_duration,
-            external_retraining_duration=decision.external_completion_seconds,
+            external_retraining_duration=external,
         )
         outcome = StreamWindowOutcome(
             stream_name=stream.name,

@@ -1,5 +1,6 @@
 """Shared numeric and infrastructure helpers for the Ekya reproduction."""
 
+from .clock import SYSTEM_CLOCK, Clock, ManualClock, Stopwatch, SystemClock
 from .curves import (
     SaturatingCurve,
     fit_accuracy_curve,
@@ -23,6 +24,11 @@ from .rng import ensure_rng, spawn_rng, stable_seed
 from .serialization import dump_json, load_json, to_jsonable
 
 __all__ = [
+    "SYSTEM_CLOCK",
+    "Clock",
+    "ManualClock",
+    "Stopwatch",
+    "SystemClock",
     "SaturatingCurve",
     "fit_accuracy_curve",
     "predict_final_accuracy",

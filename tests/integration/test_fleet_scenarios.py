@@ -1,0 +1,277 @@
+"""Integration tests for multi-site fleet simulation and scenario events.
+
+The headline acceptance scenario: when a site fails, its streams are
+force-evacuated over the WAN (paying real checkpoint + profile transfer
+cost, visible as an accuracy dip in the migration window) and recover to the
+no-failure counterfactual's accuracy within two windows of the migration.
+"""
+
+import pytest
+
+from repro.exceptions import FleetError
+from repro.fleet import (
+    ADMISSION_NAMES,
+    FlashCrowd,
+    FleetSimulator,
+    Scenario,
+    SiteFailure,
+    WanDegradation,
+    make_fleet,
+)
+
+SEED = 0
+
+
+def _run(
+    events,
+    *,
+    num_sites=3,
+    streams_per_site=2,
+    gpus_per_site=4,
+    num_windows=7,
+    admission="least_loaded",
+    seed=SEED,
+):
+    controller = make_fleet(
+        num_sites,
+        streams_per_site,
+        gpus_per_site=gpus_per_site,
+        admission=admission,
+        seed=seed,
+    )
+    return FleetSimulator(controller, Scenario(events=events)).run(num_windows)
+
+
+class TestFleetEndToEnd:
+    @pytest.mark.parametrize("admission", ADMISSION_NAMES)
+    def test_every_admission_policy_serves_all_streams(self, admission):
+        result = _run([], admission=admission, num_windows=3)
+        assert len(result.windows) == 3
+        for window in result.windows:
+            assert window.num_streams == 6
+            assert 0.0 < window.mean_accuracy <= 1.0
+            for stats in window.site_stats.values():
+                assert 0.0 <= stats.utilization <= 1.0 + 1e-6
+        assert 0.0 < result.mean_accuracy <= 1.0
+        assert 0.0 < result.worst_stream_accuracy(10.0) <= result.mean_accuracy + 1e-9
+
+    def test_fleet_run_is_deterministic(self):
+        events = [SiteFailure(window=2, site="site-0", recovery_window=4)]
+        first = _run(events)
+        second = _run(events)
+        assert first.mean_accuracy == second.mean_accuracy
+        assert [
+            (e.stream_name, e.source, e.destination) for w in first.windows for e in w.migrations
+        ] == [
+            (e.stream_name, e.source, e.destination) for w in second.windows for e in w.migrations
+        ]
+
+
+class TestSiteFailure:
+    FAIL_WINDOW = 3
+
+    def test_evacuated_streams_recover_within_two_windows(self):
+        """The acceptance scenario: dip at migration, recovery by +2 windows."""
+        failed = _run([SiteFailure(window=self.FAIL_WINDOW, site="site-0")])
+        counterfactual = _run([])
+
+        evacuated = sorted(
+            {
+                event.stream_name
+                for window in failed.windows
+                for event in window.migrations
+                if event.reason == "evacuation"
+            }
+        )
+        assert evacuated, "the failure must actually evacuate streams"
+
+        def evacuee_mean(result, window_index):
+            outcomes = result.windows[window_index].stream_outcomes
+            return sum(
+                outcomes[name].effective_average_accuracy for name in evacuated
+            ) / len(evacuated)
+
+        deficit = {
+            w: evacuee_mean(counterfactual, w) - evacuee_mean(failed, w)
+            for w in range(self.FAIL_WINDOW, self.FAIL_WINDOW + 3)
+        }
+        # Migration window: the WAN transfer cost shows up as a real dip...
+        assert deficit[self.FAIL_WINDOW] > 0.02
+        # ...and within two windows of the migration the evacuees are back at
+        # the no-failure counterfactual's accuracy (small residual tolerance
+        # for the survivors' extra contention).
+        recovery = (deficit[self.FAIL_WINDOW + 1] + deficit[self.FAIL_WINDOW + 2]) / 2.0
+        assert recovery < 0.03
+        assert recovery < deficit[self.FAIL_WINDOW] / 2.0
+
+    def test_failed_site_serves_nothing_until_recovery(self):
+        result = _run([SiteFailure(window=2, site="site-1", recovery_window=4)])
+        for window in result.windows:
+            if 2 <= window.window_index < 4:
+                assert "site-1" in window.failed_sites
+                assert "site-1" not in window.site_stats
+            else:
+                assert "site-1" not in window.failed_sites
+        # Every admitted stream is still served in every window.
+        for window in result.windows:
+            assert window.num_streams == 6
+
+    def test_evacuation_pays_migration_cost(self):
+        result = _run([SiteFailure(window=2, site="site-0")])
+        migration_window = result.windows[2]
+        assert migration_window.migrations
+        for event in migration_window.migrations:
+            assert event.transfer_seconds > 0
+            outcome = migration_window.stream_outcomes[event.stream_name]
+            assert outcome.migrated
+            assert outcome.transfer_seconds >= event.transfer_seconds
+            # The WAN transfer delays the retraining start, so any completed
+            # run took at least the transfer time of wall-clock.
+            if outcome.outcome.retraining_completed:
+                assert (
+                    outcome.outcome.retraining_duration
+                    >= outcome.transfer_seconds - 1e-9
+                )
+
+
+class TestFlashCrowd:
+    def test_burst_streams_are_admitted_and_served(self):
+        result = _run([FlashCrowd(window=2, num_streams=5, dataset="urban_traffic")])
+        assert result.windows[1].num_streams == 6
+        assert result.windows[2].admitted_streams
+        for window in result.windows[2:]:
+            assert window.num_streams == 11
+        assert 0.0 < result.mean_accuracy <= 1.0
+
+    def test_pinned_burst_lands_on_named_site_then_rebalances(self):
+        result = _run(
+            [FlashCrowd(window=1, num_streams=8, dataset="waymo", site="site-0")],
+            gpus_per_site=1,
+        )
+        boundary = result.windows[1]
+        assert len(boundary.admitted_streams) == 8
+        # The pinned site is now overloaded; rebalancing must kick in within
+        # the simulated horizon and spread streams out again.
+        overload_moves = [
+            event
+            for window in result.windows
+            for event in window.migrations
+            if event.reason == "overload"
+        ]
+        assert overload_moves
+        assert all(event.source == "site-0" for event in overload_moves)
+
+
+class TestWanDegradation:
+    def test_degraded_site_pays_more_per_migration(self):
+        events_degraded = [
+            WanDegradation(window=1, site="site-0", uplink_factor=0.1),
+            SiteFailure(window=2, site="site-0"),
+        ]
+        events_clean = [SiteFailure(window=2, site="site-0")]
+        degraded = _run(events_degraded)
+        clean = _run(events_clean)
+        degraded_cost = degraded.windows[2].migration_seconds
+        clean_cost = clean.windows[2].migration_seconds
+        assert degraded.windows[2].migrations and clean.windows[2].migrations
+        assert degraded_cost > clean_cost
+
+    def test_transfer_longer_than_a_window_carries_over(self):
+        """A checkpoint still in flight keeps delaying retraining next window."""
+        events = [
+            # Uplink cut to 1%: the ~400 Mbit checkpoint takes far longer
+            # than one 200 s window to leave the failing site.
+            WanDegradation(window=1, site="site-0", uplink_factor=0.01),
+            SiteFailure(window=2, site="site-0"),
+        ]
+        result = _run(events, num_windows=5)
+        evacuated = {
+            event.stream_name
+            for event in result.windows[2].migrations
+            if event.reason == "evacuation"
+        }
+        assert evacuated
+        window_seconds = 200.0
+        transfer = max(
+            event.transfer_seconds for event in result.windows[2].migrations
+        )
+        assert transfer > 2 * window_seconds
+        # While the checkpoint is in flight the evacuees cannot realise any
+        # retraining benefit — not in the migration window, and (the
+        # carryover) not in the next one either.
+        for name in evacuated:
+            in_flight = result.windows[2].stream_outcomes[name]
+            assert not in_flight.outcome.retraining_completed
+            next_window = result.windows[3].stream_outcomes[name]
+            assert not next_window.outcome.retraining_completed
+
+    def test_degradation_expires_at_until_window(self):
+        result_controller = make_fleet(2, 1, gpus_per_site=2, seed=SEED)
+        simulator = FleetSimulator(
+            result_controller,
+            Scenario(
+                events=[
+                    WanDegradation(
+                        window=1, site="site-0", uplink_factor=0.5, until_window=3
+                    )
+                ]
+            ),
+        )
+        base_uplink = result_controller.site("site-0").spec.link.uplink_mbps
+        simulator.run_window(0)
+        assert result_controller.site("site-0").link.uplink_mbps == pytest.approx(base_uplink)
+        simulator.run_window(1)
+        assert result_controller.site("site-0").link.uplink_mbps == pytest.approx(
+            base_uplink / 2
+        )
+        simulator.run_window(2)
+        assert result_controller.site("site-0").link.uplink_mbps == pytest.approx(
+            base_uplink / 2
+        )
+        simulator.run_window(3)
+        assert result_controller.site("site-0").link.uplink_mbps == pytest.approx(base_uplink)
+
+    def test_overlapping_degradations_latest_event_owns_the_link(self):
+        """A superseded degradation's expiry must not restore the link early."""
+        controller = make_fleet(2, 1, gpus_per_site=2, seed=SEED)
+        simulator = FleetSimulator(
+            controller,
+            Scenario(
+                events=[
+                    WanDegradation(window=1, site="site-0", uplink_factor=0.1, until_window=2),
+                    WanDegradation(window=2, site="site-0", uplink_factor=0.5, until_window=5),
+                ]
+            ),
+        )
+        base = controller.site("site-0").spec.link.uplink_mbps
+        for window_index, expected in [
+            (0, base),
+            (1, base * 0.1),
+            (2, base * 0.5),  # replaced, not restored, at the first expiry
+            (3, base * 0.5),
+            (4, base * 0.5),
+            (5, base),  # the owning (latest) event's expiry fires
+        ]:
+            simulator.run_window(window_index)
+            assert controller.site("site-0").link.uplink_mbps == pytest.approx(expected)
+
+    def test_refailure_extends_the_outage(self):
+        """A second failure while down must push recovery out, not pull it in."""
+        result = _run(
+            [
+                SiteFailure(window=1, site="site-0", recovery_window=3),
+                SiteFailure(window=2, site="site-0", recovery_window=5),
+            ],
+            num_windows=6,
+        )
+        for window in result.windows:
+            expected_down = 1 <= window.window_index < 5
+            assert ("site-0" in window.failed_sites) == expected_down
+
+    def test_invalid_scenarios_rejected(self):
+        with pytest.raises(FleetError):
+            SiteFailure(window=3, site="s", recovery_window=3)
+        with pytest.raises(FleetError):
+            WanDegradation(window=1, site="s", uplink_factor=0.0)
+        with pytest.raises(FleetError):
+            FlashCrowd(window=0, num_streams=0)

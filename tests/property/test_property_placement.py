@@ -1,0 +1,127 @@
+"""Property-based tests for placement packing edge cases.
+
+Covers the corners the scheduling property suite leaves open: demands whose
+quantised total exceeds fleet capacity must be rejected (never silently
+truncated), requests at the ``min_fraction`` boundary must round the way the
+paper's §5 quantisation rule says, and packing must be deterministic in the
+*content* of the request map, not the insertion order the caller happened to
+build it in.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.cluster import GPUFleet, place_jobs, quantize_allocations
+from repro.exceptions import PlacementError
+
+MIN_FRACTION = 1.0 / 16.0
+
+demand = st.floats(min_value=0.0, max_value=3.0, allow_nan=False)
+
+
+class TestCapacityRejection:
+    @settings(max_examples=100)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(demand, min_size=1, max_size=10),
+    )
+    def test_over_capacity_raises_and_within_capacity_packs(self, num_gpus, demands):
+        """The quantised total decides: above capacity raises, below packs."""
+        requested = {f"job-{i}": value for i, value in enumerate(demands)}
+        quantized_total = sum(quantize_allocations(requested).values())
+        fleet = GPUFleet(num_gpus)
+        if quantized_total > num_gpus + 1e-6:
+            with pytest.raises(PlacementError):
+                place_jobs(requested, fleet)
+        else:
+            placement = place_jobs(requested, fleet)
+            for gpu in fleet.gpus:
+                assert gpu.allocated <= gpu.capacity + 1e-9
+            # Every quantised demand is fully placed, never truncated.
+            for job_id, fraction in placement.quantized.items():
+                assert placement.total_for(job_id) == pytest.approx(fraction)
+
+    def test_demand_exceeding_fleet_capacity_raises(self):
+        with pytest.raises(PlacementError):
+            place_jobs({"big": 2.5}, GPUFleet(2))
+
+    def test_rounding_down_rescues_over_requested_fractions(self):
+        # 3 x 0.75 over-requests 2 GPUs, but §5's round-down quantisation
+        # (0.75 -> 0.5) is exactly what keeps the placement feasible.
+        placement = place_jobs({"a": 0.75, "b": 0.75, "c": 0.75}, GPUFleet(2))
+        assert placement.quantized == {"a": 0.5, "b": 0.5, "c": 0.5}
+        assert placement.allocation_loss() == pytest.approx(0.75)
+
+    def test_mixed_whole_and_fractional_over_capacity_raises(self):
+        with pytest.raises(PlacementError):
+            place_jobs({"a": 1.5, "b": 1.0}, GPUFleet(2))
+
+
+class TestMinFractionBoundary:
+    @settings(max_examples=100)
+    @given(st.integers(min_value=0, max_value=4))
+    def test_exact_min_fraction_survives_quantisation(self, whole):
+        request = whole + MIN_FRACTION
+        quantized = quantize_allocations({"job": request})["job"]
+        assert quantized == pytest.approx(whole + MIN_FRACTION)
+
+    @settings(max_examples=100)
+    @given(st.floats(min_value=1e-6, max_value=MIN_FRACTION * 0.999, allow_nan=False))
+    def test_below_min_fraction_is_dropped(self, fraction):
+        """Sub-minimum remainders round to zero, never up to min_fraction."""
+        assert quantize_allocations({"job": fraction})["job"] == 0.0
+
+    @settings(max_examples=100)
+    @given(st.floats(min_value=MIN_FRACTION, max_value=4.0, allow_nan=False))
+    def test_quantisation_never_rounds_up(self, fraction):
+        quantized = quantize_allocations({"job": fraction})["job"]
+        assert quantized <= fraction + 1e-9
+        assert quantized >= 0.0
+
+    def test_custom_min_fraction_boundary(self):
+        assert quantize_allocations({"j": 0.25}, min_fraction=0.25)["j"] == 0.25
+        assert quantize_allocations({"j": 0.20}, min_fraction=0.25)["j"] == 0.0
+
+
+class TestPackingDeterminism:
+    @settings(max_examples=60)
+    @given(
+        st.integers(min_value=1, max_value=4),
+        st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=2, max_size=8),
+        st.randoms(use_true_random=False),
+    )
+    def test_insertion_order_does_not_change_packing(self, num_gpus, demands, rnd):
+        """Descending-demand packing must not depend on dict insertion order.
+
+        ``sorted`` is stable, so equal quantised demands would otherwise pack
+        in whatever order the caller assembled the request map; the explicit
+        job-id tie-break makes the placement a pure function of the map's
+        contents.
+        """
+        total = sum(demands)
+        if total > num_gpus:
+            demands = [value * num_gpus / (total + 1e-9) for value in demands]
+        requested = {f"job-{i}": value for i, value in enumerate(demands)}
+        shuffled_items = list(requested.items())
+        rnd.shuffle(shuffled_items)
+        first = place_jobs(requested, GPUFleet(num_gpus))
+        second = place_jobs(dict(shuffled_items), GPUFleet(num_gpus))
+        assert first.assignments == second.assignments
+        assert first.quantized == second.quantized
+        assert first.allocation_loss() == pytest.approx(second.allocation_loss())
+
+    @settings(max_examples=60)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0, allow_nan=False), min_size=1, max_size=8)
+    )
+    def test_allocation_loss_matches_quantisation_gap(self, demands):
+        num_gpus = 8  # ample capacity: isolate the quantisation accounting
+        requested = {f"job-{i}": value for i, value in enumerate(demands)}
+        placement = place_jobs(requested, GPUFleet(num_gpus))
+        expected = sum(
+            max(0.0, requested[job] - placement.quantized[job]) for job in requested
+        )
+        assert placement.allocation_loss() == pytest.approx(expected)
+        assert placement.allocation_loss() >= 0.0
