@@ -22,6 +22,7 @@ from fleet_bench_core import (
     emit_fleet_bench_json,
     measure_failure_scenario,
     measure_fleet_scaling,
+    measure_heterogeneous_fleet,
 )
 
 
@@ -58,7 +59,8 @@ def test_fleet_scaling_1_to_16_sites(benchmark):
     )
 
     scenario = measure_failure_scenario()
-    path = emit_fleet_bench_json(rows, scenario)
+    heterogeneous = measure_heterogeneous_fleet()
+    path = emit_fleet_bench_json(rows, scenario, heterogeneous=heterogeneous)
     print(f"trajectory appended to {path}")
 
     assert [row["num_sites"] for row in rows] == list(SITE_COUNTS)
@@ -74,3 +76,8 @@ def test_fleet_scaling_1_to_16_sites(benchmark):
     assert scenario["evacuated_streams"]
     assert scenario["migrations_by_reason"].get("evacuation", 0) > 0
     assert 0.0 < scenario["mean_accuracy"] <= 1.0
+    # The heterogeneous run: both window cadences must appear on the calendar.
+    starts = heterogeneous["cycle_starts"]
+    assert any(start % 200.0 != 0.0 for start in starts)
+    assert any(start % 150.0 != 0.0 for start in starts)
+    assert 0.0 < heterogeneous["mean_accuracy"] <= 1.0

@@ -10,8 +10,12 @@ Two measurements:
 * :func:`measure_failure_scenario` — a fixed chaos run (flash crowd, site
   failure with forced evacuation + recovery, WAN degradation) whose accuracy
   trajectory documents the migration/recovery behaviour.
+* :func:`measure_heterogeneous_fleet` — the event-calendar capability run:
+  per-site window durations advanced through
+  :meth:`~repro.fleet.simulator.FleetSimulator.run_until` with a mid-window
+  time-indexed failure (recorded in the trajectory, not gated).
 
-Both are deterministic in the seed except for wall-clock, so the committed
+All are deterministic in the seed except for wall-clock, so the committed
 baseline in ``benchmarks/baselines/fleet_baseline.json`` can gate accuracy
 exactly and runtime by ratio.
 """
@@ -140,15 +144,57 @@ def measure_failure_scenario(
     return summary
 
 
+def measure_heterogeneous_fleet(
+    *,
+    num_sites: int = 4,
+    streams_per_site: int = 10,
+    window_durations: Sequence[float] = (200.0, 150.0),
+    horizon_seconds: float = 1200.0,
+) -> Dict:
+    """A per-site-window fleet on one calendar, with a mid-window failure.
+
+    Exercises the event-calendar capabilities the shared-window engine could
+    not express: heterogeneous ``window_duration`` s and a time-indexed
+    ``SiteFailure`` firing between boundaries.  Recorded in the trajectory
+    for documentation; not part of the regression gate.
+    """
+    controller = make_fleet(
+        num_sites,
+        streams_per_site,
+        gpus_per_site=GPUS_PER_SITE,
+        window_duration=window_durations,
+        seed=SEED,
+    )
+    scenario = Scenario(
+        events=[SiteFailure(at_seconds=330.0, site="site-0", recovery_at=700.0)]
+    )
+    simulator = FleetSimulator(controller, scenario)
+    result = simulator.run_until(horizon_seconds)
+    summary = result.summary()
+    summary.update(
+        {
+            "window_durations": list(window_durations),
+            "horizon_seconds": horizon_seconds,
+            "num_cycles": len(result.windows),
+            "cycle_starts": [w.start_seconds for w in result.windows],
+            "events_processed": len(simulator.event_trace),
+        }
+    )
+    return summary
+
+
 def emit_fleet_bench_json(
     scaling: List[Dict],
     scenario: Optional[Dict] = None,
     path: Optional[Path] = None,
+    heterogeneous: Optional[Dict] = None,
 ) -> Path:
     """Append one timestamped entry to the ``BENCH_fleet.json`` trajectory."""
     entry: Dict = {"scaling": scaling}
     if scenario is not None:
         entry["failure_scenario"] = scenario
+    if heterogeneous is not None:
+        entry["heterogeneous"] = heterogeneous
     return append_trajectory(path if path is not None else BENCH_FLEET_JSON_PATH, entry)
 
 

@@ -41,6 +41,7 @@ from fleet_bench_core import (
     load_fleet_baseline,
     measure_failure_scenario,
     measure_fleet_scaling,
+    measure_heterogeneous_fleet,
 )
 from scheduler_bench_core import (
     BASELINE_PATH,
@@ -192,7 +193,18 @@ def main(argv=None) -> int:
             f"accuracy {scenario['mean_accuracy']:.4f} | "
             f"migration cost {scenario['total_migration_seconds']:.0f} s"
         )
-        fleet_path = emit_fleet_bench_json(fleet_scaling, scenario, args.fleet_output)
+        print("measuring heterogeneous-window fleet (per-site calendars, mid-window failure)...")
+        heterogeneous = measure_heterogeneous_fleet()
+        print(
+            f"  windows {heterogeneous['window_durations']} s | "
+            f"{heterogeneous['num_cycles']} cycles / "
+            f"{heterogeneous['events_processed']} events over "
+            f"{heterogeneous['horizon_seconds']:.0f} s | "
+            f"accuracy {heterogeneous['mean_accuracy']:.4f}"
+        )
+        fleet_path = emit_fleet_bench_json(
+            fleet_scaling, scenario, args.fleet_output, heterogeneous=heterogeneous
+        )
         print(f"fleet trajectory appended to {fleet_path}")
 
     if args.no_check:

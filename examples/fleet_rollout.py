@@ -1,16 +1,23 @@
-"""Fleet rollout: many edge sites, stream admission, migration and failures.
+"""Fleet rollout on the event calendar: heterogeneous windows, mid-window events.
 
-A four-site fleet (two well-provisioned metro sites, two smaller
-neighbourhood sites) serves 20 mixed camera streams, each site running the
-paper's thief scheduler locally while the fleet controller owns stream
-placement globally.  Mid-run the fleet is hit by the full scenario suite:
+A four-site fleet where the two metro sites retrain on 200 s windows while
+the two smaller neighbourhood sites run faster 150 s windows — impossible
+under the old shared window index, natural on the event calendar: every site
+gets its own ``WindowBoundary`` events and the scenario is time-indexed in
+absolute seconds, so events fire mid-window:
 
-* window 2 — a flash crowd of six traffic cameras comes online,
-* window 3 — site-1's WAN backhaul degrades to a quarter of its uplink,
-* window 4 — site-0 fails outright; its streams are evacuated over the WAN
-  (paying checkpoint + profile transfer) and it recovers at window 6.
+* t=310 s — a flash crowd of six traffic cameras comes online (mid-window
+  for every site),
+* t=480 s — site-1's WAN backhaul degrades to a quarter of its uplink until
+  t=1000 s,
+* t=650 s — site-0 fails outright; its streams are evacuated over the WAN
+  (paying checkpoint + profile transfer mid-window, so the next window at
+  the destination only pays the transfer time still remaining) and it
+  recovers at t=1050 s.
 
-The demo prints the per-window fleet state, then compares the three
+A 75 s control tick runs admission/rebalancing on its own cadence, decoupled
+from window boundaries — the async control plane.  The demo prints the
+per-cycle fleet state, the full event trace, and a comparison of the three
 admission policies on the same workload and scenario.
 
 Run with:  PYTHONPATH=src python examples/fleet_rollout.py
@@ -21,48 +28,62 @@ from __future__ import annotations
 from repro.fleet import (
     FlashCrowd,
     FleetSimulator,
+    MigrationStarted,
     Scenario,
     SiteFailure,
     WanDegradation,
+    WindowBoundary,
     make_fleet,
 )
 
 NUM_SITES = 4
 STREAMS_PER_SITE = 5
-NUM_WINDOWS = 8
+#: Metro sites on 200 s windows, neighbourhood sites on 150 s (cycled).
+WINDOW_DURATIONS = (200.0, 150.0)
+HORIZON_SECONDS = 1600.0
+CONTROL_INTERVAL = 75.0
 
 
 def scenario() -> Scenario:
     return Scenario(
         events=[
-            FlashCrowd(window=2, num_streams=6, dataset="urban_traffic"),
-            WanDegradation(window=3, site="site-1", uplink_factor=0.25, until_window=6),
-            SiteFailure(window=4, site="site-0", recovery_window=6),
+            FlashCrowd(at_seconds=310.0, num_streams=6, dataset="urban_traffic"),
+            WanDegradation(
+                at_seconds=480.0, site="site-1", uplink_factor=0.25, until_at=1000.0
+            ),
+            SiteFailure(at_seconds=650.0, site="site-0", recovery_at=1050.0),
         ]
     )
 
 
-def run_fleet(admission: str):
+def build_simulator(admission: str) -> FleetSimulator:
     controller = make_fleet(
         NUM_SITES,
         STREAMS_PER_SITE,
         dataset="cityscapes",
         gpus_per_site=2,
+        window_duration=WINDOW_DURATIONS,
         admission=admission,
         seed=0,
     )
-    return FleetSimulator(controller, scenario()).run(NUM_WINDOWS)
+    return FleetSimulator(controller, scenario(), control_interval=CONTROL_INTERVAL)
 
 
 def main() -> None:
-    result = run_fleet("accuracy_greedy")
+    simulator = build_simulator("accuracy_greedy")
+    result = simulator.run_until(HORIZON_SECONDS)
 
+    durations = " / ".join(
+        f"{site.name}:{site.spec.window_duration:.0f}s"
+        for site in simulator.controller.sites
+    )
     print(
-        f"{NUM_SITES} sites x {STREAMS_PER_SITE} streams, {NUM_WINDOWS} windows of 200 s, "
+        f"{NUM_SITES} sites x {STREAMS_PER_SITE} streams over {HORIZON_SECONDS:.0f} s, "
+        f"windows {durations},\ncontrol tick every {CONTROL_INTERVAL:.0f} s, "
         f"admission = {result.admission_policy}\n"
     )
     print(
-        f"{'window':<7} {'streams':>7} {'accuracy':>9} {'migrations':>11} "
+        f"{'cycle':<6} {'t(s)':>6} {'streams':>7} {'accuracy':>9} {'migrations':>11} "
         f"{'failed':>10}  per-site streams"
     )
     for window in result.windows:
@@ -71,25 +92,37 @@ def main() -> None:
         )
         failed = ",".join(window.failed_sites) or "-"
         print(
-            f"{window.window_index:<7} {window.num_streams:>7} "
-            f"{window.mean_accuracy:>9.3f} {len(window.migrations):>11} "
-            f"{failed:>10}  {sites}"
+            f"{window.window_index:<6} {window.start_seconds:>6.0f} "
+            f"{window.num_streams:>7} {window.mean_accuracy:>9.3f} "
+            f"{len(window.migrations):>11} {failed:>10}  {sites}"
         )
 
+    boundary_times = {
+        event.time for event in simulator.event_trace if isinstance(event, WindowBoundary)
+    }
+    mid_window = [
+        marker
+        for marker in simulator.event_trace
+        if isinstance(marker, MigrationStarted) and marker.time not in boundary_times
+    ]
     summary = result.summary()
     print(
         f"\nfleet mean accuracy {summary['mean_accuracy']:.3f} | "
         f"p10 worst-stream {summary['p10_worst_stream_accuracy']:.3f} | "
-        f"{summary['migration_count']} migrations "
-        f"({summary['migrations_by_reason']}) costing "
+        f"{summary['migration_count']} migrations, {len(mid_window)} started "
+        f"mid-window ({summary['migrations_by_reason']}) costing "
         f"{summary['total_migration_seconds']:.0f} s of WAN transfer | "
         f"quantisation loss {summary['mean_allocation_loss']:.2f} GPU/window"
     )
 
+    print(f"\nEvent trace ({len(simulator.event_trace)} events):")
+    for event in simulator.event_trace:
+        print(f"  {event.describe()}")
+
     print("\nAdmission-policy comparison (same workload and scenario):")
     print(f"{'policy':<18} {'mean acc':>9} {'p10 worst':>10} {'migrations':>11}")
     for admission in ("least_loaded", "accuracy_greedy", "random"):
-        comparison = run_fleet(admission)
+        comparison = build_simulator(admission).run_until(HORIZON_SECONDS)
         print(
             f"{comparison.admission_policy:<18} {comparison.mean_accuracy:>9.3f} "
             f"{comparison.worst_stream_accuracy(10.0):>10.3f} "

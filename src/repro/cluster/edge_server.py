@@ -9,7 +9,7 @@ duration).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from ..datasets.stream import VideoStream

@@ -10,7 +10,7 @@ configuration, GPU allocation, progress and completion time.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from ..configs.inference import InferenceConfig

@@ -11,7 +11,7 @@ lists and implements that pruning given observed (cost, accuracy) points.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..exceptions import ConfigurationError
 from ..utils.math_utils import is_pareto_dominated, pareto_frontier
@@ -67,7 +67,6 @@ class ConfigurationSpace:
         if not observed:
             return ConfigurationSpace(list(self.retraining_configs), list(self.inference_configs))
 
-        points = [observed[cfg] for cfg in observed]
         survivors: List[Tuple[RetrainingConfig, float]] = []
         for cfg, point in observed.items():
             others = [p for other_cfg, p in observed.items() if other_cfg is not cfg]

@@ -24,7 +24,7 @@ equivalent decision-for-decision.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 

@@ -26,10 +26,10 @@ from ..exceptions import SchedulingError
 from ..utils.clock import Clock, Stopwatch
 from .baselines import even_stream_share
 from .microprofiler import ProfileSource
-from .pick_configs import pick_configs, pick_configs_for_stream
+from .pick_configs import pick_configs
 from .policy import ProfiledPolicy
 from .thief import ThiefScheduler
-from .types import ScheduleRequest, StreamDecision, WindowSchedule
+from .types import ScheduleRequest, WindowSchedule
 
 
 class EkyaPolicy(ProfiledPolicy):

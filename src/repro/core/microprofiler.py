@@ -25,9 +25,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
-
-import numpy as np
+from typing import Dict, Optional, Sequence
 
 from ..configs.retraining import RetrainingConfig
 from ..configs.space import ConfigurationSpace

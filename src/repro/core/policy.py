@@ -13,7 +13,7 @@ like-for-like comparisons require.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from ..cluster.edge_server import EdgeServerSpec
 from ..configs.space import ConfigurationSpace

@@ -1,14 +1,48 @@
-"""Fleet orchestration: many edge sites, one shared window timeline.
+"""Fleet orchestration: many edge sites on one event calendar.
 
 The paper's system schedules retraining + inference on a single edge server;
 this package is the layer above it for production-scale deployments — a
 :class:`FleetController` that owns N :class:`EdgeSite` s, admits streams via
-pluggable :class:`AdmissionPolicy` s, migrates streams between sites at
-window boundaries (paying real WAN transfer cost for model checkpoint +
-profile), and a :class:`FleetSimulator` that advances all sites window by
-window while applying injected scenario events (flash crowds, site failures
-with forced evacuation, WAN degradation).  Each site's thief-scheduler hot
-path runs completely unchanged.
+pluggable :class:`AdmissionPolicy` s and migrates them between sites (paying
+real WAN transfer cost for model checkpoint + profile), and a
+:class:`FleetSimulator` that advances everything as a discrete-event
+simulation on an :class:`EventCalendar`: per-site window boundaries,
+time-indexed scenario triggers, WAN transfer arrivals and control ticks are
+heap-ordered :class:`SimEvent` s.  Each site's thief-scheduler hot path runs
+completely unchanged.
+
+Migrating from the shared-window-index API (PR 2)
+-------------------------------------------------
+
+The old fleet advanced on one shared integer window index; the calendar
+makes the timeline the spine instead.  Existing code keeps working:
+
+* ``FleetSimulator(controller, scenario).run(num_windows)`` is unchanged for
+  fleets whose sites share one ``window_duration``, and reproduces the old
+  engine's :class:`FleetResult` bit for bit under a
+  :class:`~repro.utils.clock.ManualClock`.
+* Window-indexed scenario events — ``FlashCrowd(window=2, ...)``,
+  ``SiteFailure(window=3, recovery_window=5, ...)``,
+  ``WanDegradation(window=1, until_window=4, ...)`` — still work on
+  homogeneous fleets; they are resolved to absolute seconds up front.
+
+New capabilities, opted into explicitly:
+
+* **Time-indexed scenarios**: ``FlashCrowd(at_seconds=450.0, ...)`` fires
+  mid-window; expiries use ``recovery_at`` / ``until_at``.  Scenarios are
+  validated at :class:`FleetSimulator` construction (unknown sites, expiry
+  before trigger), not at fire time.
+* **Per-site windows**: give each :class:`SiteSpec` its own
+  ``window_duration`` (or pass a sequence to :func:`make_fleet`), then
+  drive the fleet with ``run_until(t_end)`` / ``run_for(seconds)`` — each
+  returned :class:`FleetWindowResult` covers one cycle of sites whose
+  windows start at the same ``start_seconds``.  Window-indexed scenario
+  events are rejected on such fleets; use ``at_seconds``.
+* **Async control plane**: ``FleetSimulator(..., control_interval=50.0)``
+  runs admission/rebalancing on its own cadence, so migrations start
+  mid-window and the destination's next window pays only the WAN transfer
+  time still remaining (a ``TransferArrival`` landing mid-window costs the
+  following window nothing).
 """
 
 from .admission import (
@@ -17,6 +51,17 @@ from .admission import (
     LeastLoadedAdmission,
     RandomAdmission,
 )
+from .calendar import (
+    ControlTick,
+    EventCalendar,
+    MigrationStarted,
+    ScenarioTrigger,
+    SimEvent,
+    SiteRecovery,
+    TransferArrival,
+    WanRestore,
+    WindowBoundary,
+)
 from .controller import FleetController
 from .factory import ADMISSION_NAMES, build_admission, make_fleet
 from .metrics import (
@@ -24,6 +69,7 @@ from .metrics import (
     FleetStreamOutcome,
     FleetWindowResult,
     SiteWindowStats,
+    gpu_utilization,
 )
 from .migration import PROFILE_SIZE_MBITS, MigrationCostModel, MigrationEvent
 from .scenarios import (
@@ -41,6 +87,15 @@ __all__ = [
     "AdmissionPolicy",
     "LeastLoadedAdmission",
     "RandomAdmission",
+    "ControlTick",
+    "EventCalendar",
+    "MigrationStarted",
+    "ScenarioTrigger",
+    "SimEvent",
+    "SiteRecovery",
+    "TransferArrival",
+    "WanRestore",
+    "WindowBoundary",
     "FleetController",
     "ADMISSION_NAMES",
     "build_admission",
@@ -49,6 +104,7 @@ __all__ = [
     "FleetStreamOutcome",
     "FleetWindowResult",
     "SiteWindowStats",
+    "gpu_utilization",
     "PROFILE_SIZE_MBITS",
     "MigrationCostModel",
     "MigrationEvent",

@@ -1,0 +1,208 @@
+"""The discrete-event spine of the fleet simulation.
+
+PR 2 keyed every cross-site mechanism (scenario triggers, migrations,
+rebalancing, recovery expiries) to one shared integer window index, which
+forced all sites onto the same ``window_duration`` and all control decisions
+onto window boundaries.  This module replaces that with the classic
+discrete-event design (NS-2's scheduler/handler decomposition): an
+:class:`EventCalendar` owns simulated time as a heap of
+``(time, priority, seq)``-ordered :class:`SimEvent` s, and the
+:class:`~repro.fleet.simulator.FleetSimulator` is a loop that pops the next
+event and dispatches it to a handler.
+
+Event hierarchy (all timestamped in absolute simulated seconds):
+
+* :class:`SiteRecovery` / :class:`WanRestore` — expiry of a scenario effect;
+  fires only if the scheduling scenario event still *owns* the site's state
+  (a later failure/degradation supersedes an earlier one's expiry).
+* :class:`ScenarioTrigger` — an injected
+  :class:`~repro.fleet.scenarios.Scenario` event fires (flash crowd, site
+  failure, WAN degradation).  Scenarios are time-indexed; the old
+  window-indexed constructors are resolved to absolute seconds up front.
+* :class:`TransferArrival` — a migrating stream's checkpoint + profile
+  finishes its WAN transfer.  Replaces PR 2's carryover-delay dict: the
+  arrival is an absolute timestamp, so it can land mid-window and a window
+  execution only pays the *remaining* transfer time.
+* :class:`ControlTick` — the fleet controller runs admission/rebalancing.
+  By default ticks coincide with window boundaries (PR-2 behaviour); an
+  explicit ``control_interval`` decouples them entirely (the async fleet
+  control plane).
+* :class:`WindowBoundary` — one site starts its next retraining window.
+  Per-site, so every :class:`~repro.fleet.site.SiteSpec` can have its own
+  ``window_duration``.
+
+At equal timestamps the class priority above (smaller fires first) fixes the
+semantic order — restore, trigger, arrivals, control, windows — and the
+monotonically increasing sequence number makes ties within a priority fire
+in scheduling order, so event processing is deterministic across runs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import ClassVar, List, Optional, Tuple
+
+from ..exceptions import FleetError
+from .migration import MigrationEvent
+from .scenarios import ScenarioEvent
+
+
+@dataclass(frozen=True)
+class SimEvent:
+    """Base class of everything the calendar can schedule.
+
+    ``priority`` orders events that share a timestamp (smaller fires first);
+    it is a class attribute, not per-instance state, because the ordering is
+    semantic — e.g. a transfer arriving exactly at a window boundary must be
+    observed *before* that window plans its retraining.
+    """
+
+    time: float
+    priority: ClassVar[int] = 99
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FleetError("event time must be non-negative")
+
+    def describe(self) -> str:
+        """One-line human-readable form (used by the example's event trace)."""
+        return f"t={self.time:8.1f}s  {type(self).__name__}"
+
+
+@dataclass(frozen=True)
+class SiteRecovery(SimEvent):
+    """A failed site comes back, if ``owner`` still owns its failure state."""
+
+    priority: ClassVar[int] = 0
+    site: str = ""
+    #: The scenario event that scheduled this expiry.  A later failure of the
+    #: same site takes ownership and this expiry becomes a no-op.
+    owner: object = None
+
+    def describe(self) -> str:
+        return f"{super().describe()}  site={self.site}"
+
+
+@dataclass(frozen=True)
+class WanRestore(SimEvent):
+    """A degraded WAN link returns to provisioned bandwidth (same ownership)."""
+
+    priority: ClassVar[int] = 0
+    site: str = ""
+    owner: object = None
+
+    def describe(self) -> str:
+        return f"{super().describe()}  site={self.site}"
+
+
+@dataclass(frozen=True)
+class ScenarioTrigger(SimEvent):
+    """An injected scenario event fires at its resolved absolute time."""
+
+    priority: ClassVar[int] = 1
+    event: Optional[ScenarioEvent] = None
+
+    def describe(self) -> str:
+        return f"{super().describe()}  {type(self.event).__name__}"
+
+
+@dataclass(frozen=True)
+class TransferArrival(SimEvent):
+    """A migrating stream's checkpoint + profile finishes its WAN transfer."""
+
+    priority: ClassVar[int] = 2
+    stream: str = ""
+
+    def describe(self) -> str:
+        return f"{super().describe()}  stream={self.stream}"
+
+
+@dataclass(frozen=True)
+class ControlTick(SimEvent):
+    """The fleet controller makes its admission/rebalancing decisions."""
+
+    priority: ClassVar[int] = 3
+
+
+@dataclass(frozen=True)
+class WindowBoundary(SimEvent):
+    """One site starts retraining window ``window_index`` at ``time``."""
+
+    priority: ClassVar[int] = 4
+    site: str = ""
+    window_index: int = 0
+
+    def describe(self) -> str:
+        return f"{super().describe()}  site={self.site} window={self.window_index}"
+
+
+@dataclass(frozen=True)
+class MigrationStarted(SimEvent):
+    """Trace-only marker: a stream hand-off began (never scheduled)."""
+
+    priority: ClassVar[int] = 1
+    migration: Optional[MigrationEvent] = None
+
+    def describe(self) -> str:
+        m = self.migration
+        return (
+            f"{super().describe()}  {m.stream_name} {m.source}->{m.destination} "
+            f"({m.reason}, {m.transfer_seconds:.1f}s transfer)"
+        )
+
+
+@dataclass
+class EventCalendar:
+    """A heap of timestamped events owning the fleet's simulated clock.
+
+    Events pop in ``(time, priority, seq)`` order: earliest first, semantic
+    priority breaking timestamp ties, scheduling order breaking the rest —
+    fully deterministic for a given schedule sequence.  Scheduling into the
+    past is an error: popped time is the simulation's ``now`` and never moves
+    backwards.
+    """
+
+    start_time: float = 0.0
+    _heap: List[Tuple[float, int, int, SimEvent]] = field(default_factory=list)
+    _seq: int = 0
+    _now: float = field(init=False)
+
+    def __post_init__(self) -> None:
+        if self.start_time < 0:
+            raise FleetError("start_time must be non-negative")
+        self._now = float(self.start_time)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time: the timestamp of the last popped event."""
+        return self._now
+
+    def schedule(self, event: SimEvent) -> SimEvent:
+        """Add ``event`` to the calendar; returns it for chaining."""
+        if event.time < self._now:
+            raise FleetError(
+                f"cannot schedule {type(event).__name__} at t={event.time:g}s: "
+                f"simulated time is already {self._now:g}s"
+            )
+        heapq.heappush(self._heap, (event.time, event.priority, self._seq, event))
+        self._seq += 1
+        return event
+
+    def peek_time(self) -> Optional[float]:
+        """Timestamp of the next event, or ``None`` when the calendar is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def pop(self) -> SimEvent:
+        """Remove and return the next event, advancing simulated time to it."""
+        if not self._heap:
+            raise FleetError("cannot pop from an empty event calendar")
+        time, _, _, event = heapq.heappop(self._heap)
+        self._now = time
+        return event
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __bool__(self) -> bool:
+        return bool(self._heap)

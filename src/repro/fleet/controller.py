@@ -7,10 +7,11 @@ scheduler keeps optimising its own window locally.  Responsibilities:
 * **Admission** — every new stream (initial rollout, flash crowds) is placed
   on a healthy site by the pluggable
   :class:`~repro.fleet.admission.AdmissionPolicy`.
-* **Rebalancing** — at window boundaries, streams migrate from overloaded
-  sites (streams-per-GPU above ``overload_factor`` × the fleet mean) to the
-  least-loaded healthy site, paying the WAN transfer cost of their model
-  checkpoint + profile.
+* **Rebalancing** — at the simulator's control ticks (window boundaries by
+  default, or an independent cadence mid-window), streams migrate from
+  overloaded sites (streams-per-GPU above ``overload_factor`` × the fleet
+  mean) to the least-loaded healthy site, paying the WAN transfer cost of
+  their model checkpoint + profile.
 * **Failure handling** — a failed site's streams are force-evacuated to the
   survivors; a recovered site re-enters admission and rebalancing.
 
@@ -52,12 +53,6 @@ class FleetController:
         names = [site.name for site in sites]
         if len(set(names)) != len(names):
             raise FleetError("site names must be unique")
-        durations = {site.spec.window_duration for site in sites}
-        if len(durations) != 1:
-            raise FleetError(
-                "all sites must share one window_duration — the fleet advances "
-                "on a single shared window timeline"
-            )
         if overload_factor < 1.0:
             raise FleetError("overload_factor must be >= 1")
         if max_migrations_per_window < 0:
@@ -95,8 +90,26 @@ class FleetController:
         return self._migration_cost
 
     @property
+    def homogeneous_windows(self) -> bool:
+        """Whether every site shares one ``window_duration``."""
+        return len({site.spec.window_duration for site in self._sites.values()}) == 1
+
+    @property
     def window_duration(self) -> float:
+        """The shared window duration; heterogeneous fleets have none."""
+        if not self.homogeneous_windows:
+            raise FleetError(
+                "sites have different window_durations — there is no shared "
+                "window duration; use each site's spec.window_duration"
+            )
         return next(iter(self._sites.values())).spec.window_duration
+
+    @property
+    def reference_window_duration(self) -> float:
+        """Longest site window — the duration new streams are sized against
+        when no target site is known yet (the shared duration when the fleet
+        is homogeneous)."""
+        return max(site.spec.window_duration for site in self._sites.values())
 
     @property
     def num_streams(self) -> int:
@@ -132,8 +145,23 @@ class FleetController:
         else:
             target = self._admission.choose_site(stream, self.healthy_sites, window_index)
         target.attach(stream)
+        self._resync_stream_window(stream, target)
         self._stream_site[stream.name] = target.name
         return target
+
+    @staticmethod
+    def _resync_stream_window(stream: VideoStream, site: EdgeSite) -> None:
+        """Size the stream's windows to the site it now runs on.
+
+        A stream's content is generated per window lazily, so whenever it
+        lands on a site (admission, flash crowd, migration) its
+        ``window_duration`` follows that site's cadence — on a
+        heterogeneous-window fleet a stream built for 200 s windows must not
+        keep producing 200 s of frames on a 150 s site.  Windows already
+        realised are unaffected; on homogeneous fleets this is a no-op.
+        """
+        if stream.window_duration != site.spec.window_duration:
+            stream.window_duration = site.spec.window_duration
 
     def admit_all(self, streams: Sequence[VideoStream], window_index: int = 0) -> None:
         for stream in streams:
@@ -149,6 +177,11 @@ class FleetController:
     ) -> List[VideoStream]:
         """Create and admit ``count`` fresh streams (flash-crowd arrivals)."""
         admitted: List[VideoStream] = []
+        duration = (
+            self.site(site).spec.window_duration
+            if site is not None
+            else self.reference_window_duration
+        )
         for _ in range(count):
             index = self._next_index.get(dataset, 0)
             while f"{dataset}-{index}" in self._stream_site:
@@ -158,7 +191,7 @@ class FleetController:
                 dataset,
                 index,
                 seed=self._seed,
-                window_duration=self.window_duration,
+                window_duration=duration,
             )
             self.admit(stream, window_index, site=site)
             admitted.append(stream)
@@ -177,6 +210,7 @@ class FleetController:
             raise FleetError(f"stream {stream_name!r} is already on {destination.name!r}")
         stream = source.detach(stream_name)
         destination.attach(stream)
+        self._resync_stream_window(stream, destination)
         self._stream_site[stream_name] = destination.name
         event = MigrationEvent(
             stream_name=stream_name,

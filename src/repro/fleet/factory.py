@@ -55,7 +55,7 @@ def make_fleet(
     gpus_per_site: int = 4,
     delta: float = 0.1,
     a_min: float = 0.4,
-    window_duration: float = 200.0,
+    window_duration: Union[float, Sequence[float]] = 200.0,
     admission: Union[str, AdmissionPolicy] = "least_loaded",
     migration_cost: MigrationCostModel = MigrationCostModel(),
     overload_factor: float = 1.5,
@@ -76,6 +76,10 @@ def make_fleet(
 
     ``links`` optionally assigns one WAN link per site (cycled if shorter);
     the default leaves every site on the :class:`SiteSpec` default link.
+    ``window_duration`` likewise accepts either one shared duration or a
+    sequence assigning per-site durations (cycled if shorter) — a
+    heterogeneous-window fleet, which the event-calendar simulator advances
+    through :meth:`~repro.fleet.simulator.FleetSimulator.run_until`.
     ``clock`` is threaded through to every site's scheduler, so injecting a
     :class:`~repro.utils.clock.ManualClock` (and passing the same clock to
     :class:`~repro.fleet.simulator.FleetSimulator`) makes fleet results —
@@ -85,6 +89,13 @@ def make_fleet(
         raise FleetError("num_sites must be >= 1")
     if streams_per_site < 0:
         raise FleetError("streams_per_site must be non-negative")
+    durations = (
+        [float(window_duration)]
+        if isinstance(window_duration, (int, float))
+        else [float(duration) for duration in window_duration]
+    )
+    if not durations or any(duration <= 0 for duration in durations):
+        raise FleetError("window_duration entries must be positive")
     dynamics = AnalyticDynamics(seed=seed)
     profile_source = OracleProfileSource(
         dynamics, accuracy_error_std=profiler_error_std, seed=seed + 1
@@ -99,7 +110,7 @@ def make_fleet(
             num_gpus=gpus_per_site,
             delta=delta,
             min_inference_accuracy=a_min,
-            window_duration=window_duration,
+            window_duration=durations[index % len(durations)],
         )
         if links:
             spec_kwargs["link"] = links[index % len(links)]
@@ -124,7 +135,16 @@ def make_fleet(
     )
     total_streams = num_sites * streams_per_site
     if total_streams:
+        # Streams are built before their site is known, so they are sized to
+        # the reference duration; admission re-sizes each to its owning
+        # site's window (FleetController._resync_stream_window), as it does
+        # for flash crowds and migrations.
         controller.admit_all(
-            make_workload(dataset, total_streams, seed=seed, window_duration=window_duration)
+            make_workload(
+                dataset,
+                total_streams,
+                seed=seed,
+                window_duration=controller.reference_window_duration,
+            )
         )
     return controller

@@ -23,6 +23,19 @@ from ..utils.math_utils import safe_mean
 from .migration import MigrationEvent
 
 
+def gpu_utilization(total_gpu_allocated: float, num_gpus: int) -> float:
+    """Fraction of a site's GPU capacity a schedule actually allocated.
+
+    Guards the degenerate capacity cases in one place instead of inline
+    division at every call site: a site with no GPUs (or a corrupted
+    negative count) cannot be utilised, so its utilisation is 0.0 rather
+    than a ``ZeroDivisionError`` or a nonsensical negative ratio.
+    """
+    if num_gpus <= 0:
+        return 0.0
+    return total_gpu_allocated / num_gpus
+
+
 @dataclass(frozen=True)
 class FleetStreamOutcome:
     """One stream's realised window outcome plus its migration history.
@@ -74,9 +87,18 @@ class SiteWindowStats:
 
 @dataclass
 class FleetWindowResult:
-    """Everything that happened across the fleet in one shared window."""
+    """Everything that happened across the fleet in one simulation cycle.
+
+    On a homogeneous-window fleet a cycle is one shared window.  On a
+    heterogeneous fleet (per-site ``window_duration``) a cycle covers the
+    sites whose window boundaries share the start instant ``start_seconds``,
+    and ``window_index`` is the cycle's ordinal on the calendar rather than
+    a fleet-wide window count.
+    """
 
     window_index: int
+    #: Absolute simulated time at which this cycle's windows started.
+    start_seconds: float = 0.0
     site_results: Dict[str, WindowResult] = field(default_factory=dict)
     site_stats: Dict[str, SiteWindowStats] = field(default_factory=dict)
     stream_outcomes: Dict[str, FleetStreamOutcome] = field(default_factory=dict)
@@ -118,8 +140,18 @@ class FleetResult:
     # ----------------------------------------------------------- accuracy
     @property
     def mean_accuracy(self) -> float:
-        """Fleet headline metric: accuracy over windows and served streams."""
-        return safe_mean([w.mean_accuracy for w in self.windows])
+        """Fleet headline metric: accuracy over cycles and served streams.
+
+        Cycles that served nothing are excluded rather than counted as 0.0:
+        on a heterogeneous-window fleet a cycle can cover only sites that
+        are failed or idle (e.g. every 150 s boundary of a failed site), and
+        averaging zeros for windows in which no stream existed would let
+        calendar granularity, not serving quality, drive the headline
+        number.
+        """
+        return safe_mean(
+            [w.mean_accuracy for w in self.windows if w.stream_outcomes]
+        )
 
     @property
     def per_stream_accuracy(self) -> Dict[str, float]:

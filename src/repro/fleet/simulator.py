@@ -1,53 +1,103 @@
-"""Event-driven multi-site fleet simulation on a shared window timeline.
+"""Discrete-event multi-site fleet simulation on one event calendar.
 
-The :class:`FleetSimulator` advances every site of a
-:class:`~repro.fleet.controller.FleetController` window by window.  At each
-window boundary, in order:
+The :class:`FleetSimulator` is an event loop over an
+:class:`~repro.fleet.calendar.EventCalendar`: window boundaries (per-site,
+so sites may have different ``window_duration`` s), scenario triggers
+(time-indexed, with the window-indexed constructors resolved up front),
+WAN transfer arrivals and control ticks are all first-class timestamped
+events, popped in deterministic ``(time, priority, seq)`` order and
+dispatched to one handler each:
 
-1. expiring effects are restored (site recoveries, WAN restorations),
-2. the window's injected scenario events fire (site failures with forced
-   evacuation, flash-crowd arrivals, WAN degradations),
-3. the controller rebalances overloaded sites,
-4. every healthy, non-idle site plans and executes its window through the
-   unchanged single-server :class:`~repro.simulation.simulator.Simulator` /
-   thief-scheduler path — migrated-in streams' summed WAN transfer time is
-   handed to it as a retraining start delay, so the migration cost (delayed
-   or forfeited retraining benefit) is realised inside the site execution
-   and stays consistent with the committed model state,
-5. transfer time beyond the window carries over as next window's start
-   delay until the checkpoint has fully arrived.
+* ``SiteRecovery`` / ``WanRestore`` — a scenario effect expires, if its
+  scheduling event still owns the site's state (latest event wins: a
+  re-degraded link does not snap back when the first degradation would
+  have ended).
+* ``ScenarioTrigger`` — site failures force-evacuate (scheduling one
+  ``TransferArrival`` per hop), flash crowds admit, WAN degradations scale
+  the link and schedule their own restore.
+* ``TransferArrival`` — a migrating checkpoint + profile lands.  Arrivals
+  are absolute timestamps, so a transfer can complete mid-window and the
+  next window pays only the remaining time; one spanning several windows
+  keeps delaying retraining until it has fully arrived.
+* ``ControlTick`` — the controller rebalances.  Ticks coincide with window
+  boundaries by default (the PR-2 cadence); pass ``control_interval`` to
+  run the control plane on its own cadence, decoupled from windows.
+* ``WindowBoundary`` — the site plans and executes one window through the
+  unchanged single-server :class:`~repro.simulation.simulator.Simulator` /
+  thief-scheduler path, with migrated-in streams' unfinished WAN transfer
+  handed down as a retraining start delay.
+
+``run(num_windows)`` is a thin compatibility wrapper over the event loop
+for homogeneous-window fleets and reproduces the shared-window-index
+engine's :class:`~repro.fleet.metrics.FleetResult` bit-identically under a
+:class:`~repro.utils.clock.ManualClock` (see
+``tests/integration/test_fleet_scenarios.py::TestEngineParity``).
+Heterogeneous fleets use :meth:`run_until` / :meth:`run_for`; each
+:class:`~repro.fleet.metrics.FleetWindowResult` then covers one *cycle* —
+all sites whose windows start at the same instant.
 
 Everything is deterministic given the construction seeds except wall-clock
 measurements, which all go through the injectable clock from
-:mod:`repro.utils.clock`: this simulator's ``FleetResult.wall_clock_seconds``
-uses the ``clock`` passed here, and each site's
-``scheduler_runtime_seconds`` uses the clock given to
-:func:`~repro.fleet.factory.make_fleet`.  Pass the same
-:class:`~repro.utils.clock.ManualClock` to both and fleet results are
-bit-identical field for field across runs.
+:mod:`repro.utils.clock`: pass the same
+:class:`~repro.utils.clock.ManualClock` here and to
+:func:`~repro.fleet.factory.make_fleet` and fleet results are bit-identical
+field for field across runs.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import FleetError
 from ..utils.clock import Clock, Stopwatch
 from ..utils.math_utils import safe_mean
+from .calendar import (
+    ControlTick,
+    EventCalendar,
+    MigrationStarted,
+    ScenarioTrigger,
+    SimEvent,
+    SiteRecovery,
+    TransferArrival,
+    WanRestore,
+    WindowBoundary,
+)
 from .controller import FleetController
-from .metrics import FleetResult, FleetStreamOutcome, FleetWindowResult, SiteWindowStats
+from .metrics import (
+    FleetResult,
+    FleetStreamOutcome,
+    FleetWindowResult,
+    SiteWindowStats,
+    gpu_utilization,
+)
 from .migration import MigrationEvent
 from .scenarios import FlashCrowd, Scenario, SiteFailure, WanDegradation
+from .site import EdgeSite
 
 
 class FleetSimulator:
-    """Executes scenario events and per-site window simulation for a fleet.
+    """Executes a fleet scenario as a discrete-event simulation.
 
-    When several failure or WAN events target the same site, the *latest*
-    event owns the site's state: its expiry (``recovery_window`` /
-    ``until_window``) is the one that fires, and expiries scheduled by
-    superseded earlier events are ignored — a re-degraded link does not snap
-    back to full bandwidth when the first degradation would have ended.
+    Parameters
+    ----------
+    controller:
+        The fleet to simulate.  Sites may have different
+        ``window_duration`` s; each gets its own ``WindowBoundary`` events.
+    scenario:
+        Injected events, validated up front: unknown site names raise
+        immediately, and window-indexed events are rejected on
+        heterogeneous-window fleets (use ``at_seconds``).
+    clock:
+        Wall-clock source for ``FleetResult.wall_clock_seconds``.
+    control_interval:
+        Seconds between ``ControlTick`` s.  ``None`` (default) schedules a
+        tick at every distinct window-boundary time — the synchronous PR-2
+        control plane.  A positive value runs admission/rebalancing on its
+        own cadence, so migrations can start mid-window.
+    record_events:
+        Keep every processed event in :attr:`event_trace` (default).  Pass
+        ``False`` for very long horizons where the trace's linear memory
+        growth matters and nothing reads it.
     """
 
     def __init__(
@@ -56,21 +106,59 @@ class FleetSimulator:
         scenario: Optional[Scenario] = None,
         *,
         clock: Optional[Clock] = None,
+        control_interval: Optional[float] = None,
+        record_events: bool = True,
     ) -> None:
+        if control_interval is not None and control_interval <= 0:
+            raise FleetError("control_interval must be positive")
         self._controller = controller
         self._scenario = scenario or Scenario()
         self._clock = clock
-        #: window -> [(site, owning event)] expiries; an expiry only fires if
-        #: its event still owns the site's state (latest event wins).
-        self._pending_recoveries: Dict[int, List[tuple]] = {}
-        self._pending_wan_restores: Dict[int, List[tuple]] = {}
+        self._control_interval = control_interval
+        self._record_events = record_events
+        self._scenario.validate(
+            [site.name for site in controller.sites],
+            require_time_indexed=not controller.homogeneous_windows,
+        )
+        #: Latest failure / degradation event owning each site's state.
         self._failure_owner: Dict[str, SiteFailure] = {}
         self._wan_owner: Dict[str, WanDegradation] = {}
-        #: Transfer seconds still in flight past a window boundary (a WAN
-        #: transfer longer than one window keeps delaying retraining until
-        #: the checkpoint has fully arrived).
-        self._carryover_delays: Dict[str, float] = {}
+        #: In-flight WAN transfers, tracked in two mathematically equal
+        #: views.  ``_transfer_arrival`` is the absolute landing time of a
+        #: stream's (possibly chained) transfer: it schedules the
+        #: ``TransferArrival`` events and anchors mid-window hop charges.
+        #: ``_transfer_carry`` / ``_transfer_hops`` express the same
+        #: remaining time relative to the stream's next window boundary,
+        #: using exactly the shared-window engine's float operations
+        #: (carry + sum(hops), decayed by one window duration per executed
+        #: window while it exceeds it) — kept because ``delay = arrival - t``
+        #: differs from that arithmetic by rounding, and ``run()`` promises
+        #: bit-identical PR-2 results.  Boundaries charge delays from the
+        #: ledger; the arrival map is the source of truth for event timing.
+        self._transfer_arrival: Dict[str, float] = {}
+        self._transfer_carry: Dict[str, float] = {}
+        self._transfer_hops: Dict[str, float] = {}
+        #: Migration events not yet attributed to a stream's window outcome.
+        self._migrated_into: Dict[str, List[MigrationEvent]] = {}
+        # Calendar state; built on the first run/run_window/run_until call.
+        self._calendar: Optional[EventCalendar] = None
+        self._start_window = 0
+        self._start_time = 0.0
+        self._boundary_times: set = set()
+        self._tick_times: set = set()
+        self._site_next_boundary: Dict[str, float] = {}
+        self._next_cycle_ordinal = 0
+        self._cycle_start = -1.0
+        self._current: Optional[FleetWindowResult] = None
+        self._completed: List[FleetWindowResult] = []
+        #: Highest cycle ordinal already returned to a caller (run_until
+        #: returns each cycle exactly once across continuation calls).
+        self._last_emitted = -1
+        #: Largest simulated horizon any run has covered (run_for's origin).
+        self._horizon = 0.0
+        self._event_trace: List[SimEvent] = []
 
+    # ------------------------------------------------------------- accessors
     @property
     def controller(self) -> FleetController:
         return self._controller
@@ -79,115 +167,367 @@ class FleetSimulator:
     def scenario(self) -> Scenario:
         return self._scenario
 
+    @property
+    def now(self) -> float:
+        """Current simulated time (0.0 before the first event fires)."""
+        return self._calendar.now if self._calendar is not None else 0.0
+
+    @property
+    def event_trace(self) -> Sequence[SimEvent]:
+        """Every event processed so far, in firing order (plus
+        :class:`~repro.fleet.calendar.MigrationStarted` markers)."""
+        return tuple(self._event_trace)
+
     # -------------------------------------------------------------- execution
     def run(self, num_windows: int, *, start_window: int = 0) -> FleetResult:
-        """Simulate ``num_windows`` consecutive shared retraining windows."""
+        """Simulate ``num_windows`` consecutive shared retraining windows.
+
+        Compatibility wrapper for homogeneous-window fleets; heterogeneous
+        fleets have no shared window count — use :meth:`run_until`.
+        """
         if num_windows < 1:
             raise FleetError("num_windows must be >= 1")
         if start_window < 0:
             raise FleetError("start_window must be non-negative")
         watch = Stopwatch(self._clock)
-        result = FleetResult(
-            admission_policy=self._controller.admission_policy.name,
-            num_sites=len(self._controller.sites),
-        )
+        result = self._new_result()
         for window_index in range(start_window, start_window + num_windows):
             result.windows.append(self.run_window(window_index))
         result.wall_clock_seconds = watch.elapsed()
         return result
 
     def run_window(self, window_index: int) -> FleetWindowResult:
-        """Apply events, rebalance, and execute one shared window."""
-        controller = self._controller
-        migrations: List[MigrationEvent] = []
-        admitted: List[str] = []
+        """Advance the calendar through one shared window and return it.
 
-        self._restore_expired(window_index)
-        for event in self._scenario.events_at(window_index):
-            if isinstance(event, SiteFailure):
-                migrations.extend(controller.fail_site(event.site, window_index))
-                self._failure_owner[event.site] = event
-                if event.recovery_window is not None:
-                    self._pending_recoveries.setdefault(event.recovery_window, []).append(
-                        (event.site, event)
-                    )
-            elif isinstance(event, WanDegradation):
-                controller.site(event.site).degrade_wan(
-                    event.uplink_factor, event.downlink_factor
-                )
-                self._wan_owner[event.site] = event
-                if event.until_window is not None:
-                    self._pending_wan_restores.setdefault(event.until_window, []).append(
-                        (event.site, event)
-                    )
-            elif isinstance(event, FlashCrowd):
-                streams = controller.spawn_streams(
-                    event.dataset, event.num_streams, window_index, site=event.site
-                )
-                admitted.extend(stream.name for stream in streams)
-            else:  # pragma: no cover - the Scenario union is closed
-                raise FleetError(f"unknown scenario event {event!r}")
+        Windows must be executed in ascending order (the calendar owns
+        simulated time and cannot rewind); the first call fixes the start
+        window, matching ``run(..., start_window=...)``.
+        """
+        duration = self._controller.window_duration  # homogeneous fleets only
+        if self._calendar is None:
+            self._start(start_window=window_index)
+        if window_index != self._next_cycle_ordinal:
+            raise FleetError(
+                f"windows must be executed in ascending order: expected window "
+                f"{self._next_cycle_ordinal}, got {window_index}"
+            )
+        t_end = self._start_time + (window_index + 1 - self._start_window) * duration
+        self._advance_until(t_end)
+        self._horizon = max(self._horizon, t_end)
+        cycle = self._current
+        if cycle is None:  # pragma: no cover - a boundary always opens a cycle
+            raise FleetError(f"no events fired in window {window_index}")
+        # A shared window is a complete cycle: every event before the next
+        # boundary has fired, so the result is final and the cycle can close.
+        self._current = None
+        self._completed.clear()
+        self._last_emitted = cycle.window_index
+        return cycle
 
-        migrations.extend(controller.rebalance(window_index))
+    def run_until(self, t_end: float) -> FleetResult:
+        """Run every window that *starts* before ``t_end`` simulated seconds.
 
-        fleet_window = FleetWindowResult(
-            window_index=window_index,
-            migrations=migrations,
-            admitted_streams=admitted,
-            failed_sites=[site.name for site in controller.sites if not site.healthy],
+        The native API for heterogeneous-window fleets: all sites advance on
+        one calendar, and each returned
+        :class:`~repro.fleet.metrics.FleetWindowResult` covers one cycle —
+        the sites whose window boundaries share a start instant
+        (``start_seconds``).  Calling again with a later ``t_end`` continues
+        the same timeline.  Each cycle is returned exactly once, by the
+        first call that reaches it; if ``t_end`` cuts a cycle short, that
+        (already returned) result object keeps accumulating the cycle's
+        remaining events — late control ticks, scenario triggers — when the
+        timeline is continued.
+        """
+        if self._calendar is None:
+            self._start(start_window=0)
+        elif t_end < self._calendar.now:
+            raise FleetError(
+                f"cannot run until t={t_end:g}s: simulated time is already "
+                f"{self._calendar.now:g}s"
+            )
+        watch = Stopwatch(self._clock)
+        self._advance_until(t_end)
+        self._horizon = max(self._horizon, t_end)
+        result = self._new_result()
+        result.windows.extend(self._drain_unemitted())
+        result.wall_clock_seconds = watch.elapsed()
+        return result
+
+    def _drain_unemitted(self) -> List[FleetWindowResult]:
+        """Cycles not yet handed to a caller, including the in-progress one."""
+        windows = [
+            cycle for cycle in self._completed if cycle.window_index > self._last_emitted
+        ]
+        self._completed.clear()
+        if self._current is not None and self._current.window_index > self._last_emitted:
+            windows.append(self._current)
+        if windows:
+            self._last_emitted = windows[-1].window_index
+        return windows
+
+    def run_for(self, seconds: float) -> FleetResult:
+        """Run the calendar ``seconds`` past the horizon already simulated.
+
+        The origin is the largest ``t_end`` a previous run covered — not the
+        last event's timestamp, which can sit well before the horizon (a
+        ``run_until(399)`` on 200 s windows pops nothing after t=200, but
+        the next ``run_for(10)`` must still reach t=409, not t=210).
+        """
+        if seconds <= 0:
+            raise FleetError("seconds must be positive")
+        return self.run_until(self._horizon + seconds)
+
+    # ---------------------------------------------------------- event engine
+    def _new_result(self) -> FleetResult:
+        return FleetResult(
+            admission_policy=self._controller.admission_policy.name,
+            num_sites=len(self._controller.sites),
         )
-        # A stream can move more than once at one boundary (evacuation, then
-        # the survivor rebalances it away again) — it pays every hop: its
-        # retraining cannot start until the summed transfer time has passed,
-        # which also means a run that no longer fits the window is neither
-        # realised nor committed to the dynamics.  Transfer still in flight
-        # from an earlier window (over a badly degraded WAN a checkpoint can
-        # take more than one window to arrive) is added on top.
-        migrated_into: Dict[str, List[MigrationEvent]] = {}
-        for event in migrations:
-            migrated_into.setdefault(event.stream_name, []).append(event)
-        delays: Dict[str, float] = dict(self._carryover_delays)
-        for name, events in migrated_into.items():
-            delays[name] = delays.get(name, 0.0) + sum(
-                event.transfer_seconds for event in events
-            )
-        window_seconds = controller.window_duration
-        self._carryover_delays = {
-            name: delay - window_seconds
-            for name, delay in delays.items()
-            if delay > window_seconds
-        }
-        for site in controller.sites:
-            window_result = site.run_window(window_index, retraining_delays=delays)
-            if window_result is None:
-                continue
-            fleet_window.site_results[site.name] = window_result
-            fleet_window.site_stats[site.name] = SiteWindowStats(
-                site=site.name,
-                num_streams=site.num_streams,
-                utilization=window_result.schedule.total_gpu_allocated / site.spec.num_gpus,
-                allocation_loss=window_result.allocation_loss,
-                mean_accuracy=safe_mean(
-                    [o.realized_average_accuracy for o in window_result.outcomes.values()]
-                ),
-                scheduler_runtime_seconds=window_result.schedule.scheduler_runtime_seconds,
-            )
-            for name, outcome in window_result.outcomes.items():
-                fleet_window.stream_outcomes[name] = FleetStreamOutcome(
-                    stream_name=name,
-                    site=site.name,
-                    outcome=outcome,
-                    migrations=tuple(migrated_into.get(name, ())),
-                )
-        return fleet_window
 
-    # --------------------------------------------------------------- internal
-    def _restore_expired(self, window_index: int) -> None:
-        for name, event in self._pending_recoveries.pop(window_index, []):
-            if self._failure_owner.get(name) is event:
-                self._controller.recover_site(name)
-                del self._failure_owner[name]
-        for name, event in self._pending_wan_restores.pop(window_index, []):
-            if self._wan_owner.get(name) is event:
-                self._controller.site(name).restore_wan()
-                del self._wan_owner[name]
+    def _start(self, start_window: int) -> None:
+        """Build the calendar: first boundaries, control ticks, triggers."""
+        controller = self._controller
+        homogeneous = controller.homogeneous_windows
+        if not homogeneous and start_window != 0:
+            raise FleetError(
+                "heterogeneous-window fleets must start at window 0 "
+                "(there is no shared window index to offset by)"
+            )
+        shared = controller.window_duration if homogeneous else None
+        self._start_window = start_window
+        self._start_time = start_window * shared if homogeneous else 0.0
+        self._next_cycle_ordinal = start_window
+        self._last_emitted = start_window - 1
+        self._horizon = self._start_time
+        self._calendar = EventCalendar(start_time=self._start_time)
+        for site in controller.sites:
+            self._schedule_boundary(site, start_window)
+        if self._control_interval is not None:
+            self._calendar.schedule(ControlTick(time=self._start_time))
+        for event in self._scenario.events:
+            fire_at = event.trigger_seconds(shared)
+            if fire_at < self._start_time:
+                continue  # before the simulated range, like events_at() skipped
+            self._calendar.schedule(ScenarioTrigger(time=fire_at, event=event))
+
+    def _site_window_time(self, site: EdgeSite, window_index: int) -> float:
+        """Absolute start time of ``site``'s window ``window_index``.
+
+        Computed by multiplication from the simulation origin — never by
+        accumulating additions — so it is the *same float* as the ``t_end``
+        `run_window` derives for the shared index, and the same float for
+        every site sharing a duration.  Accumulated sums drift an ulp below
+        the multiplied value for non-dyadic durations (e.g. 0.1), which
+        used to pop a boundary one window early.
+        """
+        duration = site.spec.window_duration
+        return self._start_time + (window_index - self._start_window) * duration
+
+    def _schedule_boundary(self, site: EdgeSite, window_index: int) -> None:
+        time = self._site_window_time(site, window_index)
+        self._calendar.schedule(
+            WindowBoundary(time=time, site=site.name, window_index=window_index)
+        )
+        self._boundary_times.add(time)
+        self._site_next_boundary[site.name] = time
+        if self._control_interval is None and time not in self._tick_times:
+            self._tick_times.add(time)
+            self._calendar.schedule(ControlTick(time=time))
+
+    def _advance_until(self, t_end: float) -> None:
+        """Pop and dispatch every event strictly before ``t_end``."""
+        calendar = self._calendar
+        while calendar:
+            time = calendar.peek_time()
+            if time >= t_end:
+                break
+            if time in self._boundary_times and time > self._cycle_start:
+                self._open_cycle(time)
+            event = calendar.pop()
+            if self._record_events:
+                self._event_trace.append(event)
+            self._dispatch(event)
+
+    def _open_cycle(self, time: float) -> None:
+        if self._current is not None:
+            self._completed.append(self._current)
+        self._current = FleetWindowResult(
+            window_index=self._next_cycle_ordinal, start_seconds=time
+        )
+        self._next_cycle_ordinal += 1
+        self._cycle_start = time
+        # Times before this cycle can never gate another cycle or tick; drop
+        # them so the sets stay bounded by the number of pending boundaries.
+        self._boundary_times = {t for t in self._boundary_times if t >= time}
+        self._tick_times = {t for t in self._tick_times if t >= time}
+
+    def _require_cycle(self) -> FleetWindowResult:
+        if self._current is None:  # pragma: no cover - boundaries open cycles
+            raise FleetError("no simulation cycle is open")
+        return self._current
+
+    def _dispatch(self, event: SimEvent) -> None:
+        if isinstance(event, WindowBoundary):
+            self._on_window_boundary(event)
+        elif isinstance(event, ControlTick):
+            self._on_control_tick(event)
+        elif isinstance(event, TransferArrival):
+            self._on_transfer_arrival(event)
+        elif isinstance(event, ScenarioTrigger):
+            self._on_scenario_trigger(event)
+        elif isinstance(event, (SiteRecovery, WanRestore)):
+            self._on_expiry(event)
+        else:  # pragma: no cover - the event hierarchy is closed
+            raise FleetError(f"unknown simulation event {event!r}")
+
+    # -------------------------------------------------------- event handlers
+    def _on_expiry(self, event) -> None:
+        if isinstance(event, SiteRecovery):
+            if self._failure_owner.get(event.site) is event.owner:
+                self._controller.recover_site(event.site)
+                del self._failure_owner[event.site]
+        else:
+            if self._wan_owner.get(event.site) is event.owner:
+                self._controller.site(event.site).restore_wan()
+                del self._wan_owner[event.site]
+
+    def _on_scenario_trigger(self, trigger: ScenarioTrigger) -> None:
+        controller = self._controller
+        event = trigger.event
+        cycle = self._require_cycle()
+        shared = controller.window_duration if controller.homogeneous_windows else None
+        if isinstance(event, SiteFailure):
+            migrations = controller.fail_site(event.site, cycle.window_index)
+            self._register_migrations(migrations, trigger.time)
+            self._failure_owner[event.site] = event
+            recovery = event.recovery_seconds(shared)
+            if recovery is not None:
+                self._calendar.schedule(
+                    SiteRecovery(time=recovery, site=event.site, owner=event)
+                )
+        elif isinstance(event, WanDegradation):
+            controller.site(event.site).degrade_wan(
+                event.uplink_factor, event.downlink_factor
+            )
+            self._wan_owner[event.site] = event
+            until = event.until_seconds(shared)
+            if until is not None:
+                self._calendar.schedule(
+                    WanRestore(time=until, site=event.site, owner=event)
+                )
+        elif isinstance(event, FlashCrowd):
+            streams = controller.spawn_streams(
+                event.dataset, event.num_streams, cycle.window_index, site=event.site
+            )
+            cycle.admitted_streams.extend(stream.name for stream in streams)
+        else:  # pragma: no cover - the Scenario union is closed
+            raise FleetError(f"unknown scenario event {event!r}")
+
+    def _on_control_tick(self, tick: ControlTick) -> None:
+        cycle = self._require_cycle()
+        migrations = self._controller.rebalance(cycle.window_index)
+        self._register_migrations(migrations, tick.time)
+        if self._control_interval is not None:
+            self._calendar.schedule(ControlTick(time=tick.time + self._control_interval))
+
+    def _on_transfer_arrival(self, event: TransferArrival) -> None:
+        # A later hop extends the stream's transfer past this (now stale)
+        # arrival; only the final arrival clears the in-flight record.
+        if self._transfer_arrival.get(event.stream) == event.time:
+            del self._transfer_arrival[event.stream]
+
+    def _on_window_boundary(self, boundary: WindowBoundary) -> None:
+        controller = self._controller
+        site = controller.site(boundary.site)
+        cycle = self._require_cycle()
+        duration = site.spec.window_duration
+        self._schedule_boundary(site, boundary.window_index + 1)
+        if not site.healthy:
+            cycle.failed_sites.append(site.name)
+            return
+        delays = self._charge_transfers(site, boundary.time, duration)
+        window_result = site.run_window(boundary.window_index, retraining_delays=delays)
+        if window_result is None:
+            return
+        cycle.site_results[site.name] = window_result
+        cycle.site_stats[site.name] = SiteWindowStats(
+            site=site.name,
+            num_streams=site.num_streams,
+            utilization=gpu_utilization(
+                window_result.schedule.total_gpu_allocated, site.spec.num_gpus
+            ),
+            allocation_loss=window_result.allocation_loss,
+            mean_accuracy=safe_mean(
+                [o.realized_average_accuracy for o in window_result.outcomes.values()]
+            ),
+            scheduler_runtime_seconds=window_result.schedule.scheduler_runtime_seconds,
+        )
+        for name, outcome in window_result.outcomes.items():
+            cycle.stream_outcomes[name] = FleetStreamOutcome(
+                stream_name=name,
+                site=site.name,
+                outcome=outcome,
+                migrations=tuple(self._migrated_into.pop(name, ())),
+            )
+
+    # ------------------------------------------------------------- transfers
+    def _register_migrations(self, migrations: List[MigrationEvent], time: float) -> None:
+        """Record migrations and schedule their checkpoints' WAN arrivals.
+
+        A stream can move more than once at one instant (evacuation, then the
+        survivor rebalances it away again) — it pays every hop: transfers
+        chain, so its checkpoint arrives after the *summed* transfer time,
+        on top of anything still in flight from an earlier migration.
+        """
+        cycle = self._require_cycle()
+        for event in migrations:
+            cycle.migrations.append(event)
+            self._migrated_into.setdefault(event.stream_name, []).append(event)
+            if self._record_events:
+                self._event_trace.append(MigrationStarted(time=time, migration=event))
+            departed = max(self._transfer_arrival.get(event.stream_name, time), time)
+            arrival = departed + event.transfer_seconds
+            self._transfer_arrival[event.stream_name] = arrival
+            self._calendar.schedule(
+                TransferArrival(time=arrival, stream=event.stream_name)
+            )
+            # Anchor the hop to the destination's next window boundary: a hop
+            # departing at (or after) that boundary charges its full transfer
+            # there; one already in flight when the window starts charges only
+            # the part still remaining (arrival - boundary).  ``departed``,
+            # not the registration time, is what matters — a hop queued
+            # behind an earlier transfer has not started yet, so no wall
+            # time is credited against it.
+            next_boundary = self._site_next_boundary.get(event.destination, time)
+            self._transfer_hops[event.stream_name] = self._transfer_hops.get(
+                event.stream_name, 0.0
+            ) + (
+                event.transfer_seconds
+                if next_boundary <= departed
+                else max(0.0, arrival - next_boundary)
+            )
+
+    def _charge_transfers(
+        self, site: EdgeSite, time: float, duration: float
+    ) -> Optional[Dict[str, float]]:
+        """Retraining delays this window pays for its streams' WAN transfers.
+
+        Each delay is carried-over time from earlier windows plus the hops
+        anchored to this boundary; whatever exceeds this window's duration
+        carries over to the site's next boundary, so a checkpoint taking 2.5
+        windows to arrive delays retraining in all three.
+        """
+        delays: Dict[str, float] = {}
+        for name in site.stream_names:
+            hops = self._transfer_hops.pop(name, None)
+            carry = self._transfer_carry.get(name)
+            if hops is None and carry is None:
+                continue
+            delay = (carry or 0.0) + (hops or 0.0)
+            if delay > duration:
+                self._transfer_carry[name] = delay - duration
+            else:
+                self._transfer_carry.pop(name, None)
+            if delay > 0:
+                delays[name] = delay
+        return delays or None

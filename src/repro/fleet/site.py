@@ -39,8 +39,9 @@ class SiteSpec:
         Unique site identifier (used in migration events and metrics).
     num_gpus / delta / min_inference_accuracy / window_duration:
         Forwarded to :class:`~repro.cluster.edge_server.EdgeServerSpec`.
-        Every site of a fleet must share the same ``window_duration`` — the
-        fleet advances all sites on one shared window timeline.
+        ``window_duration`` is per-site: the fleet's event calendar gives
+        every site its own window-boundary events, so a metro site can run
+        200 s windows next to a neighbourhood site on 150 s ones.
     link:
         WAN link connecting the site to the backbone.  Migrations upload the
         stream's model checkpoint and profile over the source site's uplink
@@ -127,16 +128,26 @@ class EdgeSite:
         window_index: int,
         *,
         retraining_delays: Optional[Mapping[str, float]] = None,
+        window_start_seconds: Optional[float] = None,
+        retraining_ready_at: Optional[Mapping[str, float]] = None,
     ) -> Optional[WindowResult]:
         """Plan and execute one retraining window; ``None`` if idle or failed.
 
         ``retraining_delays`` carries the WAN transfer time of streams that
         migrated in at this window's boundary — their retraining cannot start
-        until checkpoint + profile have arrived.
+        until checkpoint + profile have arrived.  ``retraining_ready_at``
+        expresses the same constraint as absolute simulated times (requires
+        ``window_start_seconds``); see
+        :meth:`repro.simulation.simulator.Simulator.run_window`.
         """
         if not self.healthy or self._server.num_streams == 0:
             return None
-        return self._simulator.run_window(window_index, retraining_delays=retraining_delays)
+        return self._simulator.run_window(
+            window_index,
+            retraining_delays=retraining_delays,
+            window_start_seconds=window_start_seconds,
+            retraining_ready_at=retraining_ready_at,
+        )
 
     # --------------------------------------------------------------- health
     def fail(self) -> None:

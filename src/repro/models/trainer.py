@@ -16,7 +16,7 @@ from typing import List, Optional
 import numpy as np
 
 from ..configs.retraining import RetrainingConfig
-from ..datasets.sampling import holdout_split, uniform_sample
+from ..datasets.sampling import holdout_split
 from ..datasets.stream import WindowData
 from ..exceptions import ModelError
 from ..utils.rng import SeedLike, ensure_rng

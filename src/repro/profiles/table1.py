@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
 from ..configs.inference import InferenceConfig
-from ..configs.retraining import RetrainingConfig, named_table1_configs
+from ..configs.retraining import named_table1_configs
 from .profile import RetrainingEstimate, StreamWindowProfile
 
 #: Starting inference accuracies at the beginning of window 1 (§3.2).

@@ -12,8 +12,8 @@ reproducible run to run.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
 
 from ..cluster.edge_server import EdgeServer, EdgeServerSpec
 from ..cluster.network import CELLULAR_4G, CELLULAR_4G_X2, SATELLITE, NetworkLink
@@ -21,7 +21,6 @@ from ..configs.space import ConfigurationSpace
 from ..core.baselines import (
     UNIFORM_CONFIG_2,
     NoRetrainingPolicy,
-    UniformPolicy,
     standard_uniform_baselines,
 )
 from ..core.cloud import CloudRetrainingPolicy

@@ -9,7 +9,7 @@ subject to an accuracy threshold), plus the scaling factor of Table 3.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..exceptions import SimulationError
 from ..utils.math_utils import safe_mean

@@ -16,7 +16,7 @@ how it hurts the real system), not as mis-measurement.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Tuple
 
 from ..cluster.edge_server import EdgeServer, EdgeServerSpec
 from ..cluster.placement import place_jobs
@@ -205,6 +205,8 @@ class Simulator:
         window_index: int,
         *,
         retraining_delays: Optional[Mapping[str, float]] = None,
+        window_start_seconds: Optional[float] = None,
+        retraining_ready_at: Optional[Mapping[str, float]] = None,
     ) -> WindowResult:
         """Plan and execute a single retraining window.
 
@@ -214,9 +216,30 @@ class Simulator:
         extends the retraining's wall-clock completion, so a run that no
         longer fits the window realises no benefit *and* is not committed to
         the dynamics — realised accuracy and model state stay consistent.
+
+        ``retraining_ready_at`` is the event-calendar form of the same
+        constraint: absolute simulated times (same axis as
+        ``window_start_seconds``, which it requires) before which a stream's
+        retraining cannot start — e.g. a WAN :class:`~repro.fleet.calendar.
+        TransferArrival` timestamp.  A ready time inside the window delays
+        retraining by only the remaining ``ready - window_start`` seconds;
+        one at or before the window start costs nothing.  Both forms may be
+        given; a stream's delays add up.
         """
         spec = self._server.spec
         streams = self._server.streams
+        if retraining_ready_at:
+            if window_start_seconds is None:
+                raise SimulationError(
+                    "retraining_ready_at needs window_start_seconds to anchor "
+                    "absolute ready times to this window"
+                )
+            combined = dict(retraining_delays or {})
+            for name, ready in retraining_ready_at.items():
+                remaining = ready - window_start_seconds
+                if remaining > 0:
+                    combined[name] = combined.get(name, 0.0) + remaining
+            retraining_delays = combined
         schedule = self._policy.plan_window(streams, window_index, spec)
         allocation_loss = 0.0
         if self._verify_placement:

@@ -9,7 +9,7 @@ experiments reproducible: the same seed always regenerates the same synthetic
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,10 +1,17 @@
 """Integration tests for multi-site fleet simulation and scenario events.
 
-The headline acceptance scenario: when a site fails, its streams are
+The headline acceptance scenarios: when a site fails, its streams are
 force-evacuated over the WAN (paying real checkpoint + profile transfer
 cost, visible as an accuracy dip in the migration window) and recover to the
-no-failure counterfactual's accuracy within two windows of the migration.
+no-failure counterfactual's accuracy within two windows of the migration;
+and the event-calendar engine reproduces the shared-window-index engine's
+results bit for bit (``TestEngineParity``, against a golden fixture recorded
+from the PR-2 implementation).
 """
+
+import json
+import math
+from pathlib import Path
 
 import pytest
 
@@ -13,13 +20,18 @@ from repro.fleet import (
     ADMISSION_NAMES,
     FlashCrowd,
     FleetSimulator,
+    MigrationStarted,
     Scenario,
     SiteFailure,
+    TransferArrival,
     WanDegradation,
+    WindowBoundary,
     make_fleet,
 )
+from repro.utils.clock import ManualClock
 
 SEED = 0
+GOLDEN_PATH = Path(__file__).resolve().parents[1] / "data" / "fleet_parity_golden.json"
 
 
 def _run(
@@ -275,3 +287,455 @@ class TestWanDegradation:
             WanDegradation(window=1, site="s", uplink_factor=0.0)
         with pytest.raises(FleetError):
             FlashCrowd(window=0, num_streams=0)
+
+
+class TestEngineParity:
+    """The event-calendar engine must reproduce the PR-2 shared-window-index
+    engine bit for bit on homogeneous-window fleets under a ManualClock.
+
+    The golden fixture was recorded from the PR-2 implementation on a
+    scenario exercising every mechanism at once: a WAN degradation slow
+    enough that evacuation checkpoints stay in flight for multiple windows,
+    a flash crowd, a site failure with recovery, and overload rebalancing.
+    """
+
+    def golden_scenario(self):
+        return Scenario(
+            events=[
+                WanDegradation(window=1, site="site-0", uplink_factor=0.02, until_window=6),
+                FlashCrowd(window=2, num_streams=3, dataset="urban_traffic"),
+                SiteFailure(window=3, site="site-0", recovery_window=5),
+                WanDegradation(window=4, site="site-2", uplink_factor=0.3, until_window=6),
+            ]
+        )
+
+    def test_run_reproduces_pr2_fleet_result_bit_identically(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        clock = ManualClock()
+        controller = make_fleet(
+            3, 2, gpus_per_site=2, admission="least_loaded", seed=0, clock=clock
+        )
+        result = FleetSimulator(controller, self.golden_scenario(), clock=clock).run(7)
+
+        assert result.admission_policy == golden["admission_policy"]
+        assert result.num_sites == golden["num_sites"]
+        assert result.wall_clock_seconds == golden["wall_clock_seconds"]
+        assert result.mean_accuracy == golden["mean_accuracy"]
+        assert result.worst_stream_accuracy(10.0) == golden["p10_worst_stream_accuracy"]
+        assert len(result.windows) == len(golden["windows"])
+        for window, expected in zip(result.windows, golden["windows"]):
+            assert window.window_index == expected["window_index"]
+            assert window.mean_accuracy == expected["mean_accuracy"]
+            assert window.admitted_streams == expected["admitted_streams"]
+            assert window.failed_sites == expected["failed_sites"]
+            assert [
+                [e.stream_name, e.source, e.destination, e.window_index,
+                 e.transfer_seconds, e.reason]
+                for e in window.migrations
+            ] == expected["migrations"]
+            assert {
+                name: [stats.num_streams, stats.utilization, stats.allocation_loss,
+                       stats.mean_accuracy, stats.scheduler_runtime_seconds]
+                for name, stats in window.site_stats.items()
+            } == expected["site_stats"]
+            assert {
+                name: [o.site, o.effective_average_accuracy, o.transfer_seconds,
+                       o.outcome.retraining_completed, o.outcome.retraining_duration]
+                for name, o in window.stream_outcomes.items()
+            } == expected["stream_outcomes"]
+
+    def test_stepwise_run_window_matches_run(self):
+        def build():
+            clock = ManualClock()
+            controller = make_fleet(3, 2, gpus_per_site=2, seed=0, clock=clock)
+            return FleetSimulator(controller, self.golden_scenario(), clock=clock)
+
+        batch = build().run(5)
+        stepper = build()
+        stepwise = [stepper.run_window(w) for w in range(5)]
+        for window_a, window_b in zip(batch.windows, stepwise):
+            assert window_a.mean_accuracy == window_b.mean_accuracy
+            assert window_a.site_stats == window_b.site_stats
+
+    def test_windows_must_advance_in_order(self):
+        simulator = FleetSimulator(make_fleet(2, 1, gpus_per_site=2, seed=SEED))
+        simulator.run_window(0)
+        with pytest.raises(FleetError):
+            simulator.run_window(0)
+        with pytest.raises(FleetError):
+            simulator.run_window(5)
+
+    def test_non_dyadic_window_durations_never_drift(self):
+        """Boundary times are multiplied from the origin, not accumulated.
+
+        Regression test: with an inexact duration like 0.1 s, accumulating
+        ``time + duration`` lands an ulp below ``(k+1) * duration`` after a
+        few windows, popping a boundary one window early and silently
+        dropping a cycle.
+        """
+        controller = make_fleet(2, 2, gpus_per_site=2, window_duration=0.1, seed=SEED)
+        result = FleetSimulator(controller, clock=ManualClock()).run(12)
+        assert [w.window_index for w in result.windows] == list(range(12))
+        for window in result.windows:
+            assert len(window.site_results) == 2
+
+
+class TestHeterogeneousWindows:
+    """Per-site window durations on one shared event calendar."""
+
+    def _simulator(self, **kwargs):
+        clock = ManualClock()
+        controller = make_fleet(
+            2, 2, gpus_per_site=2, window_duration=[150.0, 200.0], seed=SEED,
+            clock=clock, **kwargs
+        )
+        return FleetSimulator(controller, clock=clock)
+
+    def test_sites_advance_at_their_own_cadence(self):
+        result = self._simulator().run_until(600.0)
+        # Cycle starts: 0 (both), 150, 200, 300, 400, 450.
+        assert [w.start_seconds for w in result.windows] == [0.0, 150.0, 200.0, 300.0, 400.0, 450.0]
+        ran = {name: 0 for name in ("site-0", "site-1")}
+        for window in result.windows:
+            for name, outcome in window.site_results.items():
+                ran[name] += 1
+                expected = 150.0 if name == "site-0" else 200.0
+                for stream_outcome in outcome.outcomes.values():
+                    assert stream_outcome.decision_window_seconds == expected
+        assert ran == {"site-0": 4, "site-1": 3}
+        assert 0.0 < result.mean_accuracy <= 1.0
+
+    def test_streams_follow_their_site_cadence(self):
+        """Admission, flash crowds, and migrations all re-size the stream's
+        windows to the owning site's duration on heterogeneous fleets."""
+        controller = make_fleet(
+            2, 3, gpus_per_site=2, window_duration=[150.0, 200.0], seed=SEED
+        )
+        for site in controller.sites:
+            for stream in site.streams:
+                assert stream.window_duration == site.spec.window_duration
+        # Policy-placed flash crowd (no pinned site).
+        spawned = controller.spawn_streams("waymo", 4, 0)
+        for stream in spawned:
+            site = controller.site_of(stream.name)
+            assert stream.window_duration == site.spec.window_duration
+        # Evacuation moves streams across cadences.
+        evacuated = controller.fail_site("site-0", 1)
+        assert evacuated
+        for event in evacuated:
+            site = controller.site_of(event.stream_name)
+            stream = site.server.stream(event.stream_name)
+            assert stream.window_duration == site.spec.window_duration
+
+    def test_run_for_continues_the_timeline(self):
+        simulator = self._simulator()
+        first = simulator.run_until(300.0)
+        second = simulator.run_for(300.0)
+        assert [w.start_seconds for w in first.windows] == [0.0, 150.0, 200.0]
+        assert [w.start_seconds for w in second.windows] == [300.0, 400.0, 450.0]
+        assert [w.window_index for w in second.windows] == [3, 4, 5]
+
+    def test_run_for_anchors_to_the_simulated_horizon_not_the_last_event(self):
+        """Regression: run_until(399) pops nothing after t=300, but a
+        following run_for(10) must still reach t=409 and fire the t=400
+        boundary — anchoring to the last event time skipped due windows."""
+        simulator = self._simulator()
+        simulator.run_until(399.0)
+        follow_up = simulator.run_for(10.0)
+        assert [w.start_seconds for w in follow_up.windows] == [400.0]
+
+    def test_empty_cycles_do_not_drag_the_fleet_mean_to_zero(self):
+        """Regression: cycles covering only a failed site served nothing and
+        used to average in as 0.0 accuracy."""
+        clock = ManualClock()
+        controller = make_fleet(
+            2, 2, gpus_per_site=2, window_duration=[150.0, 200.0], seed=SEED,
+            clock=clock,
+        )
+        scenario = Scenario(events=[SiteFailure(at_seconds=100.0, site="site-0")])
+        result = FleetSimulator(controller, scenario, clock=clock).run_until(900.0)
+        empty = [w for w in result.windows if not w.stream_outcomes]
+        served = [w for w in result.windows if w.stream_outcomes]
+        assert empty, "test premise: the failed 150s site leaves empty cycles"
+        floor = min(w.mean_accuracy for w in served)
+        assert result.mean_accuracy >= floor > 0.0
+
+    def test_run_until_continues_through_mid_cycle_events(self):
+        """A t_end that cuts a cycle short must not strand its late events.
+
+        Regression test: control ticks (or time-indexed triggers) between
+        the cut point and the next boundary used to crash the continuation
+        with "no simulation cycle is open"; each cycle is returned exactly
+        once.
+        """
+        clock = ManualClock()
+        controller = make_fleet(2, 2, gpus_per_site=2, seed=SEED, clock=clock)
+        simulator = FleetSimulator(controller, clock=clock, control_interval=75.0)
+        first = simulator.run_until(100.0)   # tick at t=75 fired, t=150 pending
+        second = simulator.run_until(400.0)  # must fire the t=150 tick mid-cycle
+        assert [w.window_index for w in first.windows] == [0]
+        assert [w.window_index for w in second.windows] == [1]
+        scenario = Scenario(events=[FlashCrowd(at_seconds=150.0, num_streams=2)])
+        controller = make_fleet(2, 2, gpus_per_site=2, seed=SEED)
+        simulator = FleetSimulator(controller, scenario)
+        cut = simulator.run_until(120.0)
+        simulator.run_until(500.0)
+        # The trigger fired into cycle 0, which was already returned — the
+        # same result object accumulates it.
+        assert cut.windows[0].admitted_streams == [
+            "cityscapes-4", "cityscapes-5"
+        ]
+
+    def test_heterogeneous_run_is_deterministic(self):
+        first = self._simulator().run_until(600.0)
+        second = self._simulator().run_until(600.0)
+        assert first.mean_accuracy == second.mean_accuracy
+        for window_a, window_b in zip(first.windows, second.windows):
+            assert window_a.site_stats == window_b.site_stats
+
+    def test_shared_window_compat_api_is_rejected(self):
+        simulator = self._simulator()
+        with pytest.raises(FleetError):
+            simulator.run(3)
+        with pytest.raises(FleetError):
+            simulator.run_window(0)
+
+    def test_window_indexed_events_are_rejected_up_front(self):
+        controller = make_fleet(2, 1, gpus_per_site=2, window_duration=[150.0, 200.0])
+        with pytest.raises(FleetError):
+            FleetSimulator(controller, Scenario(events=[SiteFailure(window=1, site="site-0")]))
+        # Time-indexed events are fine on the same fleet.
+        FleetSimulator(
+            controller, Scenario(events=[SiteFailure(at_seconds=150.0, site="site-0")])
+        )
+
+
+class TestTransferArrivalSemantics:
+    """WAN transfers are absolute-time events; windows pay remaining time."""
+
+    WINDOW = 200.0
+
+    def test_mid_window_migration_charges_only_remaining_transfer(self):
+        """A transfer in flight for 30 s before the boundary costs 30 s less."""
+
+        def run(fail_at):
+            controller = make_fleet(2, 2, gpus_per_site=2, seed=SEED)
+            scenario = Scenario(events=[SiteFailure(at_seconds=fail_at, site="site-0")])
+            return FleetSimulator(controller, scenario, clock=ManualClock()).run(4)
+
+        mid = run(370.0)       # fails 30 s before window 2 starts
+        boundary = run(400.0)  # fails exactly at the window-2 boundary
+
+        evacuated = sorted(
+            e.stream_name for w in mid.windows for e in w.migrations
+        )
+        assert evacuated == sorted(
+            e.stream_name for w in boundary.windows for e in w.migrations
+        )
+        assert evacuated
+        transfer = mid.windows[1].migrations[0].transfer_seconds
+        assert transfer > 30.0
+        compared = 0
+        for name in evacuated:
+            out_mid = mid.windows[2].stream_outcomes[name].outcome
+            out_boundary = boundary.windows[2].stream_outcomes[name].outcome
+            if out_mid.retraining_completed and out_boundary.retraining_completed:
+                # Same schedule, 30 s less transfer left when the window starts.
+                assert out_boundary.retraining_duration - out_mid.retraining_duration == (
+                    pytest.approx(30.0)
+                )
+                compared += 1
+        assert compared > 0
+
+    def test_transfer_arriving_before_the_boundary_costs_nothing(self):
+        """An arrival mid-window delays nothing in the following window."""
+        controller = make_fleet(2, 2, gpus_per_site=2, seed=SEED)
+        scenario = Scenario(events=[SiteFailure(at_seconds=250.0, site="site-0")])
+        simulator = FleetSimulator(controller, scenario, clock=ManualClock())
+        result = simulator.run(3)
+        migrations = [e for w in result.windows for e in w.migrations]
+        assert migrations
+        transfer = migrations[0].transfer_seconds
+        assert 250.0 + transfer < 400.0, "test premise: arrival lands mid-window"
+        arrivals = [e for e in simulator.event_trace if isinstance(e, TransferArrival)]
+        assert arrivals and all(250.0 < e.time < 400.0 for e in arrivals)
+        # Window 2 pays no delay: every evacuee that retrains does so at the
+        # pure allocation-driven duration (no external completion clamp).
+        for event in migrations:
+            outcome = result.windows[2].stream_outcomes[event.stream_name].outcome
+            decision = outcome.decision
+            if outcome.retraining_completed and decision.retraining_gpu > 0:
+                assert outcome.retraining_duration < transfer + 1e-9 or (
+                    outcome.retraining_duration > 0
+                )
+
+    def test_same_boundary_multi_hop_pays_every_hop_and_carries_over(self):
+        """Old carryover-dict semantics: a stream bounced twice at one
+        boundary pays the summed transfer, and a checkpoint taking n.x
+        windows to arrive delays retraining in all n+1 of them."""
+        controller = make_fleet(3, 2, gpus_per_site=2, seed=SEED)
+        scenario = Scenario(
+            events=[
+                WanDegradation(window=1, site="site-0", uplink_factor=0.06),
+                SiteFailure(window=2, site="site-0"),
+                SiteFailure(window=2, site="site-1"),
+            ]
+        )
+        result = FleetSimulator(controller, scenario, clock=ManualClock()).run(7)
+
+        bounced = {
+            name: outcome
+            for name, outcome in result.windows[2].stream_outcomes.items()
+            if len(outcome.migrations) >= 2
+        }
+        assert bounced, "double failure must double-bounce at least one stream"
+        for name, outcome in bounced.items():
+            hops = outcome.migrations
+            assert [hop.reason for hop in hops] == ["evacuation"] * len(hops)
+            assert outcome.transfer_seconds == pytest.approx(
+                sum(hop.transfer_seconds for hop in hops)
+            )
+            total = outcome.transfer_seconds
+            # The slow uplink makes the first hop span multiple windows.
+            full_windows = math.floor(total / self.WINDOW)
+            assert full_windows >= 2, "test premise: transfer spans >2 windows"
+            for offset in range(full_windows):
+                blocked = result.windows[2 + offset].stream_outcomes[name].outcome
+                assert not blocked.retraining_completed
+            landing = result.windows[2 + full_windows].stream_outcomes[name].outcome
+            if landing.retraining_completed:
+                remaining = total - full_windows * self.WINDOW
+                assert landing.retraining_duration >= remaining - 1e-9
+
+
+    def test_chained_hops_charge_the_queued_transfer_too(self):
+        """A hop queued behind an in-flight transfer departs when that
+        transfer lands — the wall time it spent queued is not credited.
+
+        Regression test: the hop charge used to be anchored to the
+        migration's registration time, waiving ~one window of delay for a
+        mid-window second hop.
+        """
+        from repro.cluster.network import NetworkLink
+
+        slow = NetworkLink(name="slow", uplink_mbps=2.0, downlink_mbps=100.0)
+        controller = make_fleet(3, 2, gpus_per_site=2, links=[slow] * 3, seed=SEED)
+        scenario = Scenario(
+            events=[
+                SiteFailure(at_seconds=410.0, site="site-0"),
+                SiteFailure(at_seconds=450.0, site="site-1"),
+            ]
+        )
+        result = FleetSimulator(controller, scenario, clock=ManualClock()).run_until(1600.0)
+        bounced = {
+            name: outcome
+            for window in result.windows
+            for name, outcome in window.stream_outcomes.items()
+            if len(outcome.migrations) == 2
+        }
+        assert bounced, "the second failure must re-evacuate a stream in flight"
+        for name, outcome in bounced.items():
+            arrival = 410.0 + sum(hop.transfer_seconds for hop in outcome.migrations)
+            for window in result.windows:
+                observed = window.stream_outcomes.get(name)
+                if observed is None or not (410.0 <= window.start_seconds < arrival):
+                    continue
+                # No window that starts before the chained checkpoint lands
+                # may realise a retraining faster than the remaining transfer.
+                if observed.outcome.retraining_completed:
+                    assert observed.outcome.retraining_duration >= (
+                        arrival - window.start_seconds - 1e-6
+                    )
+
+
+class TestAsyncControlPlane:
+    """control_interval decouples rebalancing from window boundaries."""
+
+    def test_rebalance_fires_mid_window(self):
+        controller = make_fleet(2, 2, gpus_per_site=1, seed=SEED)
+        scenario = Scenario(
+            events=[FlashCrowd(at_seconds=10.0, num_streams=8, site="site-0")]
+        )
+        simulator = FleetSimulator(
+            controller, scenario, clock=ManualClock(), control_interval=50.0
+        )
+        result = simulator.run(3)
+        moves = [
+            event
+            for marker in simulator.event_trace
+            if isinstance(marker, MigrationStarted)
+            for event in [marker.migration]
+            if event.reason == "overload"
+        ]
+        assert moves, "the pinned burst must trigger overload rebalancing"
+        mid_window = [
+            marker
+            for marker in simulator.event_trace
+            if isinstance(marker, MigrationStarted)
+            and marker.time % 200.0 not in (0.0,)
+        ]
+        assert mid_window, "with a 50 s control cadence migrations start mid-window"
+        assert result.migration_count == len(
+            [m for m in simulator.event_trace if isinstance(m, MigrationStarted)]
+        )
+
+    def test_default_cadence_matches_window_boundaries(self):
+        controller = make_fleet(2, 2, gpus_per_site=1, seed=SEED)
+        scenario = Scenario(events=[FlashCrowd(window=1, num_streams=8, site="site-0")])
+        simulator = FleetSimulator(controller, scenario, clock=ManualClock())
+        simulator.run(3)
+        boundary_times = {
+            e.time for e in simulator.event_trace if isinstance(e, WindowBoundary)
+        }
+        for marker in simulator.event_trace:
+            if isinstance(marker, MigrationStarted):
+                assert marker.time in boundary_times
+
+    def test_invalid_control_interval_rejected(self):
+        controller = make_fleet(2, 1, gpus_per_site=2, seed=SEED)
+        with pytest.raises(FleetError):
+            FleetSimulator(controller, control_interval=0.0)
+
+
+class TestScenarioValidationUpFront:
+    def test_unknown_site_rejected_at_construction(self):
+        controller = make_fleet(2, 1, gpus_per_site=2, seed=SEED)
+        for event in (
+            SiteFailure(window=1, site="site-9"),
+            WanDegradation(window=1, site="nope", uplink_factor=0.5),
+            FlashCrowd(window=1, num_streams=2, site="site-9"),
+        ):
+            with pytest.raises(FleetError, match="unknown site"):
+                FleetSimulator(controller, Scenario(events=[event]))
+
+    def test_trigger_indexing_is_exclusive(self):
+        with pytest.raises(FleetError):
+            SiteFailure(site="s")  # neither window nor at_seconds
+        with pytest.raises(FleetError):
+            SiteFailure(window=1, at_seconds=100.0, site="s")
+        with pytest.raises(FleetError):
+            FlashCrowd(at_seconds=-1.0, num_streams=1)
+
+    def test_expiry_must_match_trigger_indexing_and_follow_it(self):
+        with pytest.raises(FleetError):
+            SiteFailure(window=1, site="s", recovery_at=500.0)
+        with pytest.raises(FleetError):
+            SiteFailure(at_seconds=100.0, site="s", recovery_window=3)
+        with pytest.raises(FleetError):
+            SiteFailure(at_seconds=100.0, site="s", recovery_at=100.0)
+        with pytest.raises(FleetError):
+            WanDegradation(at_seconds=100.0, site="s", uplink_factor=0.5, until_at=50.0)
+        # Valid time-indexed expiries construct fine.
+        SiteFailure(at_seconds=100.0, site="s", recovery_at=300.0)
+        WanDegradation(at_seconds=100.0, site="s", uplink_factor=0.5, until_at=300.0)
+
+    def test_time_indexed_events_fire_mid_window(self):
+        controller = make_fleet(2, 2, gpus_per_site=2, seed=SEED)
+        scenario = Scenario(
+            events=[FlashCrowd(at_seconds=250.0, num_streams=3, dataset="waymo")]
+        )
+        result = FleetSimulator(controller, scenario, clock=ManualClock()).run(3)
+        # Admitted mid-window 1; first served in window 2.
+        assert result.windows[1].admitted_streams
+        assert result.windows[1].num_streams == 4
+        assert result.windows[2].num_streams == 7

@@ -7,10 +7,9 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.cluster import inference_job_id, retraining_job_id
-from repro.configs import ConfigurationSpace, RetrainingConfig, default_retraining_grid
+from repro.configs import RetrainingConfig, default_retraining_grid
 from repro.core import (
     MicroProfiler,
     MicroProfilerSettings,

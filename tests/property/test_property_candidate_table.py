@@ -21,7 +21,6 @@ from repro.core import (
     ScheduleRequest,
     StreamWindowInput,
     estimate_batch_average_accuracy,
-    estimate_stream_average_accuracy,
     pick_configs_for_stream,
 )
 from repro.profiles import RetrainingEstimate, StreamWindowProfile

@@ -204,25 +204,42 @@ class TestMigrationCost:
 
 # ----------------------------------------------------------------- controller
 class TestFleetController:
-    def test_requires_unique_sites_and_shared_window(self):
-        dynamics = AnalyticDynamics(seed=0)
-        make_site = lambda name, duration=200.0: EdgeSite(
+    @staticmethod
+    def _make_site(dynamics, name, duration=200.0):
+        return EdgeSite(
             SiteSpec(name=name, window_duration=duration), dynamics=dynamics, policy=None
         )
+
+    def test_requires_unique_sites(self):
+        dynamics = AnalyticDynamics(seed=0)
         with pytest.raises(FleetError):
             FleetController([], dynamics=dynamics, admission=LeastLoadedAdmission())
         with pytest.raises(FleetError):
             FleetController(
-                [make_site("a"), make_site("a")],
+                [self._make_site(dynamics, "a"), self._make_site(dynamics, "a")],
                 dynamics=dynamics,
                 admission=LeastLoadedAdmission(),
             )
+
+    def test_heterogeneous_windows_have_no_shared_duration(self):
+        dynamics = AnalyticDynamics(seed=0)
+        mixed = FleetController(
+            [self._make_site(dynamics, "a", 200.0), self._make_site(dynamics, "b", 100.0)],
+            dynamics=dynamics,
+            admission=LeastLoadedAdmission(),
+        )
+        assert not mixed.homogeneous_windows
+        assert mixed.reference_window_duration == pytest.approx(200.0)
         with pytest.raises(FleetError):
-            FleetController(
-                [make_site("a"), make_site("b", duration=100.0)],
-                dynamics=dynamics,
-                admission=LeastLoadedAdmission(),
-            )
+            mixed.window_duration
+        shared = FleetController(
+            [self._make_site(dynamics, "a", 150.0), self._make_site(dynamics, "b", 150.0)],
+            dynamics=dynamics,
+            admission=LeastLoadedAdmission(),
+        )
+        assert shared.homogeneous_windows
+        assert shared.window_duration == pytest.approx(150.0)
+        assert shared.reference_window_duration == pytest.approx(150.0)
 
     def test_admit_duplicate_and_failed_site(self):
         controller = _fleet(2, 1)

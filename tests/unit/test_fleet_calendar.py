@@ -1,0 +1,170 @@
+"""Unit tests for the fleet event calendar and the time-based APIs around it."""
+
+import pytest
+
+from repro.exceptions import FleetError, SimulationError
+from repro.fleet import (
+    ControlTick,
+    EventCalendar,
+    ScenarioTrigger,
+    SiteFailure,
+    SiteRecovery,
+    TransferArrival,
+    WanDegradation,
+    WindowBoundary,
+    gpu_utilization,
+)
+from repro.simulation import Simulator, make_setup
+
+
+class TestEventCalendar:
+    def test_pops_in_time_order(self):
+        calendar = EventCalendar()
+        calendar.schedule(WindowBoundary(time=200.0, site="b", window_index=1))
+        calendar.schedule(TransferArrival(time=50.0, stream="s"))
+        calendar.schedule(WindowBoundary(time=0.0, site="a", window_index=0))
+        assert [event.time for event in self._drain(calendar)] == [0.0, 50.0, 200.0]
+
+    def test_priority_breaks_timestamp_ties(self):
+        calendar = EventCalendar()
+        # Scheduled in reverse semantic order; all at t=100.
+        calendar.schedule(WindowBoundary(time=100.0, site="a", window_index=1))
+        calendar.schedule(ControlTick(time=100.0))
+        calendar.schedule(TransferArrival(time=100.0, stream="s"))
+        calendar.schedule(ScenarioTrigger(time=100.0, event=None))
+        calendar.schedule(SiteRecovery(time=100.0, site="a", owner=None))
+        kinds = [type(event) for event in self._drain(calendar)]
+        assert kinds == [
+            SiteRecovery,
+            ScenarioTrigger,
+            TransferArrival,
+            ControlTick,
+            WindowBoundary,
+        ]
+
+    def test_sequence_breaks_full_ties_in_scheduling_order(self):
+        calendar = EventCalendar()
+        for site in ("c", "a", "b"):
+            calendar.schedule(WindowBoundary(time=0.0, site=site, window_index=0))
+        assert [event.site for event in self._drain(calendar)] == ["c", "a", "b"]
+
+    def test_now_advances_with_pops_and_rejects_the_past(self):
+        calendar = EventCalendar(start_time=10.0)
+        assert calendar.now == 10.0
+        with pytest.raises(FleetError):
+            calendar.schedule(ControlTick(time=5.0))
+        calendar.schedule(ControlTick(time=30.0))
+        calendar.schedule(ControlTick(time=20.0))
+        assert calendar.peek_time() == 20.0
+        calendar.pop()
+        assert calendar.now == 20.0
+        with pytest.raises(FleetError):
+            calendar.schedule(ControlTick(time=19.0))
+        calendar.schedule(ControlTick(time=20.0))  # "now" itself is allowed
+
+    def test_empty_calendar(self):
+        calendar = EventCalendar()
+        assert not calendar
+        assert len(calendar) == 0
+        assert calendar.peek_time() is None
+        with pytest.raises(FleetError):
+            calendar.pop()
+
+    def test_negative_times_rejected(self):
+        with pytest.raises(FleetError):
+            EventCalendar(start_time=-1.0)
+        with pytest.raises(FleetError):
+            ControlTick(time=-0.5)
+
+    def test_describe_is_human_readable(self):
+        boundary = WindowBoundary(time=200.0, site="site-0", window_index=1)
+        text = boundary.describe()
+        assert "WindowBoundary" in text and "site-0" in text and "window=1" in text
+
+    @staticmethod
+    def _drain(calendar):
+        events = []
+        while calendar:
+            events.append(calendar.pop())
+        return events
+
+
+class TestTimedScenarioEvents:
+    def test_window_indexed_resolution_needs_a_shared_duration(self):
+        event = SiteFailure(window=3, site="s")
+        assert not event.is_time_indexed
+        assert event.trigger_seconds(200.0) == 600.0
+        with pytest.raises(FleetError):
+            event.trigger_seconds(None)
+
+    def test_time_indexed_resolution_ignores_the_duration(self):
+        event = SiteFailure(at_seconds=450.0, site="s", recovery_at=900.0)
+        assert event.is_time_indexed
+        assert event.trigger_seconds(None) == 450.0
+        assert event.recovery_seconds(None) == 900.0
+
+    def test_expiry_resolution(self):
+        assert SiteFailure(window=2, site="s").recovery_seconds(200.0) is None
+        assert SiteFailure(window=2, site="s", recovery_window=4).recovery_seconds(
+            200.0
+        ) == 800.0
+        degradation = WanDegradation(
+            window=1, site="s", uplink_factor=0.5, until_window=3
+        )
+        assert degradation.until_seconds(100.0) == 300.0
+
+
+class TestGpuUtilization:
+    def test_normal_division(self):
+        assert gpu_utilization(3.0, 4) == pytest.approx(0.75)
+
+    def test_degenerate_capacity_is_flagged_as_zero(self):
+        assert gpu_utilization(1.0, 0) == 0.0
+        assert gpu_utilization(1.0, -2) == 0.0
+
+
+class TestAbsoluteRetrainingReadyTimes:
+    """Simulator.run_window accepts absolute transfer-arrival timestamps."""
+
+    def _setup(self):
+        setup = make_setup(
+            "ekya", num_streams=2, num_gpus=2, seed=0, profiler_error_std=0.0
+        )
+        simulator = Simulator(setup.server, setup.dynamics, setup.policy)
+        return simulator, setup.server.stream_names[0]
+
+    def test_ready_at_requires_a_window_start(self):
+        simulator, name = self._setup()
+        with pytest.raises(SimulationError):
+            simulator.run_window(0, retraining_ready_at={name: 260.0})
+
+    def test_ready_time_inside_the_window_charges_the_remainder(self):
+        relative, name = self._setup()
+        base = relative.run_window(0, retraining_delays={name: 60.0}).outcomes[name]
+        absolute, name = self._setup()
+        outcome = absolute.run_window(
+            0, window_start_seconds=400.0, retraining_ready_at={name: 460.0}
+        ).outcomes[name]
+        assert outcome.retraining_duration == base.retraining_duration
+        assert outcome.realized_average_accuracy == base.realized_average_accuracy
+
+    def test_ready_time_before_the_window_costs_nothing(self):
+        plain, name = self._setup()
+        base = plain.run_window(0).outcomes[name]
+        absolute, name = self._setup()
+        outcome = absolute.run_window(
+            0, window_start_seconds=400.0, retraining_ready_at={name: 400.0}
+        ).outcomes[name]
+        assert outcome.retraining_duration == base.retraining_duration
+
+    def test_both_forms_add_up(self):
+        combined, name = self._setup()
+        outcome = combined.run_window(
+            0,
+            retraining_delays={name: 30.0},
+            window_start_seconds=0.0,
+            retraining_ready_at={name: 30.0},
+        ).outcomes[name]
+        reference, name = self._setup()
+        base = reference.run_window(0, retraining_delays={name: 60.0}).outcomes[name]
+        assert outcome.retraining_duration == base.retraining_duration

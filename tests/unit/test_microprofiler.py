@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.configs import ConfigurationSpace, RetrainingConfig
+from repro.configs import RetrainingConfig
 from repro.core import (
     MicroProfiler,
     MicroProfilerSettings,

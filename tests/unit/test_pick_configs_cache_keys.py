@@ -11,7 +11,6 @@ allocations onto different keys (misses).  The lattice's integer-quantum
 keys are exact by construction.
 """
 
-import pytest
 
 from repro.cluster import AllocationVector
 from repro.configs import InferenceConfig, RetrainingConfig

@@ -2,10 +2,8 @@
 
 import pytest
 
-from repro.cluster import EdgeServer, EdgeServerSpec
 from repro.configs import ConfigurationSpace
 from repro.core import EkyaPolicy, NoRetrainingPolicy, OracleProfileSource, UniformPolicy
-from repro.datasets import make_workload
 from repro.exceptions import SimulationError
 from repro.profiles import AnalyticDynamics
 from repro.simulation import (
