@@ -14,10 +14,15 @@ Two measurements:
   per-site window durations advanced through
   :meth:`~repro.fleet.simulator.FleetSimulator.run_until` with a mid-window
   time-indexed failure (recorded in the trajectory, not gated).
+* :func:`measure_profile_sharing` — a flash-crowd run with cross-site
+  profile sharing enabled, recording the micro-profiling GPU-seconds the
+  fleet store's warm starts saved (trajectory only, not gated).
 
 All are deterministic in the seed except for wall-clock, so the committed
 baseline in ``benchmarks/baselines/fleet_baseline.json`` can gate accuracy
-exactly and runtime by ratio.
+exactly and runtime by ratio; :func:`check_quick_fleet_parity` additionally
+asserts — in CI's ``--quick`` smoke mode — that a sharing-off fleet still
+reproduces the committed baseline's deterministic metrics bit for bit.
 """
 
 from __future__ import annotations
@@ -183,11 +188,51 @@ def measure_heterogeneous_fleet(
     return summary
 
 
+def measure_profile_sharing(
+    *, num_sites: int = 2, streams_per_site: int = 6, num_windows: int = 4
+) -> Dict:
+    """Saved micro-profiling cost of fleet-wide profile sharing.
+
+    The same flash-crowd workload runs twice — sharing off (the default
+    engine) and sharing on — and the entry records the profiling
+    GPU-seconds the warm starts saved, plus both runs' accuracy for
+    context.  Documentation only; the regression gates stay sharing-off.
+    """
+    scenario = Scenario(
+        events=[FlashCrowd(window=2, num_streams=4, dataset="cityscapes")]
+    )
+
+    def run(profile_sharing: bool):
+        controller = make_fleet(
+            num_sites,
+            streams_per_site,
+            gpus_per_site=GPUS_PER_SITE,
+            seed=SEED,
+            profile_sharing=profile_sharing,
+        )
+        simulator = FleetSimulator(controller, scenario)
+        return simulator.run(num_windows)
+
+    off, on = run(False), run(True)
+    on_summary = on.summary()
+    return {
+        "num_sites": num_sites,
+        "streams_per_site": streams_per_site,
+        "num_windows": num_windows,
+        "profiling_gpu_seconds": on_summary["profiling_gpu_seconds"],
+        "profiling_gpu_seconds_saved": on_summary["profiling_gpu_seconds_saved"],
+        "per_window_saved": [w.profiling_gpu_seconds_saved for w in on.windows],
+        "mean_accuracy_sharing_on": on.mean_accuracy,
+        "mean_accuracy_sharing_off": off.mean_accuracy,
+    }
+
+
 def emit_fleet_bench_json(
     scaling: List[Dict],
     scenario: Optional[Dict] = None,
     path: Optional[Path] = None,
     heterogeneous: Optional[Dict] = None,
+    profile_sharing: Optional[Dict] = None,
 ) -> Path:
     """Append one timestamped entry to the ``BENCH_fleet.json`` trajectory."""
     entry: Dict = {"scaling": scaling}
@@ -195,11 +240,53 @@ def emit_fleet_bench_json(
         entry["failure_scenario"] = scenario
     if heterogeneous is not None:
         entry["heterogeneous"] = heterogeneous
+    if profile_sharing is not None:
+        entry["profile_sharing"] = profile_sharing
     return append_trajectory(path if path is not None else BENCH_FLEET_JSON_PATH, entry)
 
 
 def load_fleet_baseline(path: Optional[Path] = None) -> Optional[Dict]:
     return load_json_if_exists(path if path is not None else FLEET_BASELINE_PATH)
+
+
+#: Deterministic per-row metrics the quick parity gate compares bit for bit.
+QUICK_PARITY_FIELDS = (
+    "mean_accuracy",
+    "p10_worst_stream_accuracy",
+    "migration_count",
+    "mean_utilization",
+    "mean_allocation_loss",
+)
+
+
+def check_quick_fleet_parity(baseline: Dict, *, num_sites: int = 1) -> List[str]:
+    """Exact sharing-off parity against the committed fleet baseline.
+
+    Cross-site profile sharing must be strictly opt-in: with the default
+    ``make_fleet(profile_sharing=False)`` the fleet engine has to reproduce
+    the committed ``fleet_baseline.json`` metrics *bit for bit* (they are
+    deterministic in the seed).  This runs the baseline's smallest site
+    count — cheap enough for CI's ``--quick`` smoke mode — and compares
+    every deterministic field with ``==``, no tolerance.
+    """
+    rows = {row["num_sites"]: row for row in baseline.get("scaling", [])}
+    base = rows.get(num_sites)
+    if base is None:
+        return [
+            f"committed fleet baseline has no {num_sites}-site row to check "
+            f"sharing-off parity against"
+        ]
+    simulator = build_fleet_simulator(num_sites)
+    summary = simulator.run(NUM_WINDOWS).summary()
+    failures = []
+    for field in QUICK_PARITY_FIELDS:
+        if summary[field] != base[field]:
+            failures.append(
+                f"sharing-off fleet {field} at {num_sites} site(s) is "
+                f"{summary[field]!r}, committed baseline says {base[field]!r} "
+                f"(must match exactly)"
+            )
+    return failures
 
 
 def check_fleet_against_baseline(

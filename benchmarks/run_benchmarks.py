@@ -17,8 +17,11 @@ comparisons are additionally applied on developer machines, but skipped
 when the ``CI`` environment variable is set: shared CI runners are not
 comparable to the machine the baselines were recorded on.
 
-``--quick`` runs the scheduler operating point only (no scaling sweeps, no
-fleet) — the smoke mode CI uses on every PR.
+``--quick`` runs the scheduler operating point plus an exact sharing-off
+fleet parity check (the smallest baseline site count, compared bit for bit
+against ``fleet_baseline.json`` — proving ``make_fleet``'s cross-site
+profile sharing stays strictly opt-in), skipping the scaling sweeps — the
+smoke mode CI uses on every PR.
 
 Usage::
 
@@ -37,11 +40,13 @@ from fleet_bench_core import (
     BENCH_FLEET_JSON_PATH,
     FLEET_BASELINE_PATH,
     check_fleet_against_baseline,
+    check_quick_fleet_parity,
     emit_fleet_bench_json,
     load_fleet_baseline,
     measure_failure_scenario,
     measure_fleet_scaling,
     measure_heterogeneous_fleet,
+    measure_profile_sharing,
 )
 from scheduler_bench_core import (
     BASELINE_PATH,
@@ -202,8 +207,20 @@ def main(argv=None) -> int:
             f"{heterogeneous['horizon_seconds']:.0f} s | "
             f"accuracy {heterogeneous['mean_accuracy']:.4f}"
         )
+        print("measuring cross-site profile sharing (warm-started flash crowd)...")
+        sharing = measure_profile_sharing()
+        print(
+            f"  profiling cost {sharing['profiling_gpu_seconds']:.1f} GPU-s | "
+            f"saved {sharing['profiling_gpu_seconds_saved']:.1f} GPU-s | "
+            f"accuracy on/off {sharing['mean_accuracy_sharing_on']:.4f}/"
+            f"{sharing['mean_accuracy_sharing_off']:.4f}"
+        )
         fleet_path = emit_fleet_bench_json(
-            fleet_scaling, scenario, args.fleet_output, heterogeneous=heterogeneous
+            fleet_scaling,
+            scenario,
+            args.fleet_output,
+            heterogeneous=heterogeneous,
+            profile_sharing=sharing,
         )
         print(f"fleet trajectory appended to {fleet_path}")
 
@@ -220,16 +237,21 @@ def main(argv=None) -> int:
         failures.extend(
             check_against_baseline(operating_point, baseline, compare_raw_runtime=compare_raw)
         )
-    if not args.quick:
-        fleet_baseline = load_fleet_baseline(args.fleet_baseline)
-        if fleet_baseline is None:
-            print(f"no committed fleet baseline at {args.fleet_baseline}; skipping the fleet gate")
-        else:
-            failures.extend(
-                check_fleet_against_baseline(
-                    fleet_scaling, fleet_baseline, compare_wall_clock=compare_raw
-                )
+    fleet_baseline = load_fleet_baseline(args.fleet_baseline)
+    if fleet_baseline is None:
+        print(f"no committed fleet baseline at {args.fleet_baseline}; skipping the fleet gate")
+    elif args.quick:
+        # Smoke mode still proves cross-site profile sharing is strictly
+        # opt-in: the sharing-off fleet must reproduce the committed
+        # baseline's deterministic metrics bit for bit.
+        print("checking sharing-off fleet parity against the committed baseline...")
+        failures.extend(check_quick_fleet_parity(fleet_baseline))
+    else:
+        failures.extend(
+            check_fleet_against_baseline(
+                fleet_scaling, fleet_baseline, compare_wall_clock=compare_raw
             )
+        )
     if failures:
         print("REGRESSION DETECTED:")
         for message in failures:

@@ -31,6 +31,7 @@ from .microprofiler import (
     MicroProfilingSource,
     OracleProfileSource,
     ProfileSource,
+    SharedProfileOracle,
 )
 from .pick_configs import pick_configs, pick_configs_for_stream, pick_inference_config
 from .policy import ProfiledPolicy, WindowPolicy
@@ -69,6 +70,7 @@ __all__ = [
     "MicroProfilingSource",
     "OracleProfileSource",
     "ProfileSource",
+    "SharedProfileOracle",
     "pick_configs",
     "pick_configs_for_stream",
     "pick_inference_config",

@@ -35,6 +35,7 @@ from ..models.edge_model import training_gpu_seconds
 from ..models.mlp import MLPClassifier
 from ..models.trainer import Trainer
 from ..profiles.dynamics import StreamDynamics, SubstrateDynamics
+from ..profiles.fleet_store import FleetProfileStore, stream_profile_key
 from ..profiles.profile import RetrainingEstimate, StreamWindowProfile
 from ..profiles.store import ProfileStore
 from ..utils.curves import fit_accuracy_curve, scale_for_data_fraction
@@ -204,6 +205,25 @@ class OracleProfileSource(ProfileSource):
     def dynamics(self) -> StreamDynamics:
         return self._dynamics
 
+    def _estimate(
+        self,
+        stream: VideoStream,
+        window_index: int,
+        config: RetrainingConfig,
+        *,
+        profiling_gpu_seconds: float = 0.0,
+    ) -> RetrainingEstimate:
+        """One config's oracle estimate (shared with :class:`SharedProfileOracle`)."""
+        truth = self._dynamics.candidate_post_accuracy(stream, window_index, config)
+        if self._error_std > 0:
+            truth = clamp(truth + self._rng.normal(0.0, self._error_std))
+        return RetrainingEstimate(
+            config=config,
+            post_retraining_accuracy=truth,
+            gpu_seconds=self._dynamics.retraining_gpu_seconds(stream, window_index, config),
+            profiling_gpu_seconds=profiling_gpu_seconds,
+        )
+
     def profile(
         self,
         stream: VideoStream,
@@ -216,21 +236,20 @@ class OracleProfileSource(ProfileSource):
             start_accuracy=clamp(self._dynamics.start_accuracy(stream, window_index)),
         )
         for config in configs:
-            truth = self._dynamics.candidate_post_accuracy(stream, window_index, config)
-            if self._error_std > 0:
-                truth = clamp(truth + self._rng.normal(0.0, self._error_std))
-            profile.add(
-                RetrainingEstimate(
-                    config=config,
-                    post_retraining_accuracy=truth,
-                    gpu_seconds=self._dynamics.retraining_gpu_seconds(stream, window_index, config),
-                )
-            )
+            profile.add(self._estimate(stream, window_index, config))
         return profile
 
 
 class MicroProfilingSource(ProfileSource):
-    """End-to-end testbed mode: real micro-profiling over the numpy substrate."""
+    """End-to-end testbed mode: real micro-profiling over the numpy substrate.
+
+    ``fleet_store`` optionally warm-starts streams that have no local
+    history: their first window seeds the history-based pruning from the
+    fleet-wide :class:`~repro.profiles.fleet_store.FleetProfileStore`
+    curves for the stream's ``(dataset, drift-regime)`` key, so a new or
+    migrated stream profiles the ``max_configs``-pruned candidate set
+    instead of the full grid.
+    """
 
     def __init__(
         self,
@@ -238,11 +257,13 @@ class MicroProfilingSource(ProfileSource):
         *,
         settings: MicroProfilerSettings = MicroProfilerSettings(),
         store: Optional[ProfileStore] = None,
+        fleet_store: Optional[FleetProfileStore] = None,
         seed: SeedLike = None,
     ) -> None:
         self._dynamics = dynamics
         self._profiler = MicroProfiler(settings, seed=seed)
         self._store = store or ProfileStore()
+        self._fleet_store = fleet_store
 
     @property
     def dynamics(self) -> SubstrateDynamics:
@@ -261,6 +282,10 @@ class MicroProfilingSource(ProfileSource):
         learner = self._dynamics._learner(stream)  # noqa: SLF001 - deliberate substrate access
         window = stream.window(window_index)
         history = self._store.history_for(stream.name, up_to_window=window_index)
+        if not history and self._fleet_store is not None:
+            # Warm start: no local observations yet, so prune from the
+            # fleet's aggregated curves for this (dataset, drift-regime).
+            history = self._fleet_store.curves_for(stream_profile_key(stream))
         start_accuracy = self._dynamics.start_accuracy(stream, window_index)
         profile = self._profiler.profile_window(
             learner.model,
@@ -271,4 +296,112 @@ class MicroProfilingSource(ProfileSource):
         )
         profile.stream_name = stream.name
         self._store.put(profile)
+        return profile
+
+
+class SharedProfileOracle(OracleProfileSource):
+    """Oracle profiles with modelled micro-profiling cost and fleet warm start.
+
+    The fleet simulator's profile source when cross-site profile sharing is
+    enabled.  Accuracy estimates come from the same dynamics oracle as
+    :class:`OracleProfileSource`, but each estimate additionally carries the
+    GPU-time the micro-profiler *would* have spent producing it — the cost
+    of ``settings.profiling_epochs`` early-termination epochs on a
+    ``settings.data_fraction`` uniform sample (§4.3) — so the fleet can
+    account profiling overhead and the savings sharing buys.
+
+    A stream with no local history warm-starts from the
+    :class:`~repro.profiles.fleet_store.FleetProfileStore` curves for its
+    ``(dataset, drift-regime)`` key: the candidate grid is pruned to at most
+    ``settings.max_configs`` configurations before profiling, and the
+    difference to the full-grid cost is recorded as saved profiling time
+    (drained per window via :meth:`pop_saved`).
+    """
+
+    def __init__(
+        self,
+        dynamics: StreamDynamics,
+        fleet_store: FleetProfileStore,
+        *,
+        settings: MicroProfilerSettings = MicroProfilerSettings(),
+        accuracy_error_std: float = 0.0,
+        seed: SeedLike = None,
+    ) -> None:
+        super().__init__(dynamics, accuracy_error_std=accuracy_error_std, seed=seed)
+        self._fleet_store = fleet_store
+        self._settings = settings
+        self._local = ProfileStore()
+        self._saved: Dict[tuple, float] = {}
+
+    @property
+    def fleet_store(self) -> FleetProfileStore:
+        return self._fleet_store
+
+    @property
+    def local_store(self) -> ProfileStore:
+        return self._local
+
+    def profiling_gpu_seconds(
+        self, stream: VideoStream, window_index: int, config: RetrainingConfig
+    ) -> float:
+        """Modelled cost of micro-profiling ``config`` on one window.
+
+        Profiling trains on ``min(data_fraction, config.data_fraction)`` of
+        the window's data for ``profiling_epochs`` early epochs; full
+        retraining cost is linear in both, so the micro-profiling cost is
+        the full cost scaled by both ratios.
+        """
+        full = self._dynamics.retraining_gpu_seconds(stream, window_index, config)
+        fraction = min(self._settings.data_fraction, config.data_fraction)
+        epochs = min(self._settings.profiling_epochs, config.epochs)
+        return full * (fraction / config.data_fraction) * (epochs / config.epochs)
+
+    def pop_saved(self, stream_name: str, window_index: int) -> float:
+        """Profiling GPU-seconds the fleet store saved for one (stream, window)."""
+        return self._saved.pop((stream_name, window_index), 0.0)
+
+    def profile(
+        self,
+        stream: VideoStream,
+        window_index: int,
+        configs: Sequence[RetrainingConfig],
+    ) -> StreamWindowProfile:
+        candidates = list(configs)
+        warm_started = False
+        has_local_history = any(
+            window < window_index for window in self._local.windows_for(stream.name)
+        )
+        if not has_local_history:
+            curves = self._fleet_store.curves_for(stream_profile_key(stream))
+            if curves:
+                space = ConfigurationSpace(retraining_configs=candidates)
+                candidates = space.pruned(
+                    curves, max_configs=self._settings.max_configs
+                ).retraining_configs
+                warm_started = len(candidates) < len(configs)
+        profile = StreamWindowProfile(
+            stream_name=stream.name,
+            window_index=window_index,
+            start_accuracy=clamp(self._dynamics.start_accuracy(stream, window_index)),
+        )
+        for config in candidates:
+            profile.add(
+                self._estimate(
+                    stream,
+                    window_index,
+                    config,
+                    profiling_gpu_seconds=self.profiling_gpu_seconds(
+                        stream, window_index, config
+                    ),
+                )
+            )
+        if warm_started:
+            full_grid_cost = sum(
+                self.profiling_gpu_seconds(stream, window_index, config)
+                for config in configs
+            )
+            self._saved[(stream.name, window_index)] = (
+                full_grid_cost - profile.profiling_gpu_seconds
+            )
+        self._local.put(profile)
         return profile

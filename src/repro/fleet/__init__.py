@@ -7,9 +7,25 @@ pluggable :class:`AdmissionPolicy` s and migrates them between sites (paying
 real WAN transfer cost for model checkpoint + profile), and a
 :class:`FleetSimulator` that advances everything as a discrete-event
 simulation on an :class:`EventCalendar`: per-site window boundaries,
-time-indexed scenario triggers, WAN transfer arrivals and control ticks are
-heap-ordered :class:`SimEvent` s.  Each site's thief-scheduler hot path runs
-completely unchanged.
+time-indexed scenario triggers, WAN transfer arrivals, fleet profile pushes
+and control ticks are heap-ordered :class:`SimEvent` s.  Each site's
+thief-scheduler hot path runs completely unchanged.
+
+Event hierarchy (priority order at equal timestamps, smaller fires first):
+
+1. :class:`SiteRecovery` / :class:`WanRestore` — scenario-effect expiries;
+   no-ops unless their scheduling event still owns the site's state.
+2. :class:`ScenarioTrigger` — injected scenario events (flash crowd, site
+   failure, WAN degradation).
+3. :class:`TransferArrival` — a migrating checkpoint + profile lands.
+4. :class:`ProfilePush` — a site's micro-profiled curves land in the
+   fleet-wide :class:`~repro.profiles.fleet_store.FleetProfileStore` after
+   crossing the site's WAN uplink (cross-site profile sharing; only
+   scheduled by fleets built with ``make_fleet(profile_sharing=True)``).
+   After arrivals so a same-instant checkpoint is observed first; before
+   control ticks so same-instant admission already sees the pushed curves.
+5. :class:`ControlTick` — admission/rebalancing.
+6. :class:`WindowBoundary` — one site plans and executes its next window.
 
 Migrating from the shared-window-index API (PR 2)
 -------------------------------------------------
@@ -43,6 +59,13 @@ New capabilities, opted into explicitly:
   mid-window and the destination's next window pays only the WAN transfer
   time still remaining (a ``TransferArrival`` landing mid-window costs the
   following window nothing).
+* **Cross-site profile sharing**: ``make_fleet(..., profile_sharing=True)``
+  lets sites push their micro-profiled resource–accuracy curves into one
+  fleet-wide store (as ``ProfilePush`` events paying real WAN uplink time)
+  and warm-starts new/migrated streams from neighbours' curves — the
+  first window profiles a ``max_configs``-pruned candidate set instead of
+  the full grid, surfaced as ``profiling_gpu_seconds_saved`` in
+  :meth:`FleetResult.summary`.
 """
 
 from .admission import (
@@ -55,6 +78,7 @@ from .calendar import (
     ControlTick,
     EventCalendar,
     MigrationStarted,
+    ProfilePush,
     ScenarioTrigger,
     SimEvent,
     SiteRecovery,
@@ -63,7 +87,13 @@ from .calendar import (
     WindowBoundary,
 )
 from .controller import FleetController
-from .factory import ADMISSION_NAMES, build_admission, make_fleet
+from .factory import (
+    ADMISSION_NAMES,
+    DEFAULT_SHARED_MAX_CONFIGS,
+    ProfileSharing,
+    build_admission,
+    make_fleet,
+)
 from .metrics import (
     FleetResult,
     FleetStreamOutcome,
@@ -90,6 +120,7 @@ __all__ = [
     "ControlTick",
     "EventCalendar",
     "MigrationStarted",
+    "ProfilePush",
     "ScenarioTrigger",
     "SimEvent",
     "SiteRecovery",
@@ -98,6 +129,8 @@ __all__ = [
     "WindowBoundary",
     "FleetController",
     "ADMISSION_NAMES",
+    "DEFAULT_SHARED_MAX_CONFIGS",
+    "ProfileSharing",
     "build_admission",
     "make_fleet",
     "FleetResult",

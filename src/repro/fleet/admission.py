@@ -25,13 +25,14 @@ are reproducible run to run.
 from __future__ import annotations
 
 import abc
-from typing import Sequence
+from typing import Optional, Sequence
 
 from ..configs.inference import InferenceConfig
 from ..core.estimator import estimate_stream_average_accuracy
 from ..datasets.stream import VideoStream
 from ..exceptions import FleetError
 from ..profiles.dynamics import StreamDynamics
+from ..profiles.fleet_store import FleetProfileStore, stream_profile_key
 from ..utils.math_utils import clamp
 from ..utils.rng import SeedLike, ensure_rng
 from .site import EdgeSite
@@ -99,36 +100,83 @@ class AccuracyGreedyAdmission(AdmissionPolicy):
     ``EstimateAccuracy`` at that inference share and no retraining — the
     stale-model serving accuracy the stream is guaranteed while the site's
     scheduler works out a better plan.
+
+    With ``shared_profiles`` (a fleet-wide
+    :class:`~repro.profiles.fleet_store.FleetProfileStore`), a stream whose
+    ``(dataset, drift-regime)`` key has aggregated curves is scored with the
+    store's best *post-retraining* point instead: half the fair share
+    retrains with the neighbours' best-known configuration while the other
+    half serves, which ranks sites by what the stream will actually achieve
+    once its first retraining lands — a materially better signal for
+    flash-crowd placement than the stale no-retraining estimate.
     """
 
     name = "accuracy-greedy"
 
-    def __init__(self, dynamics: StreamDynamics) -> None:
+    def __init__(
+        self,
+        dynamics: StreamDynamics,
+        *,
+        shared_profiles: Optional[FleetProfileStore] = None,
+    ) -> None:
         self._dynamics = dynamics
+        self._shared_profiles = shared_profiles
+
+    def _best_shared_candidate(self, stream: VideoStream):
+        """The fleet store's best curve point for ``stream`` (site-independent)."""
+        if self._shared_profiles is None:
+            return None
+        return self._shared_profiles.best_candidate(stream_profile_key(stream))
 
     def score(self, stream: VideoStream, site: EdgeSite, window_index: int) -> float:
         """Estimated window-average accuracy of ``stream`` if admitted to ``site``."""
+        return self._score(stream, site, window_index, self._best_shared_candidate(stream))
+
+    def _score(self, stream: VideoStream, site: EdgeSite, window_index: int, candidate) -> float:
         share = site.spec.num_gpus / (site.num_streams + 1)
         start = clamp(self._dynamics.start_accuracy(stream, window_index))
-        estimate = estimate_stream_average_accuracy(
-            start_accuracy=start,
-            post_retraining_accuracy=None,
-            retraining_gpu_seconds=0.0,
-            inference_config=_REFERENCE_INFERENCE,
-            inference_gpu=share,
-            retraining_gpu=0.0,
-            window_seconds=site.spec.window_duration,
-        )
+        if candidate is not None:
+            _, gpu_seconds, post_accuracy = candidate
+            estimate = estimate_stream_average_accuracy(
+                start_accuracy=start,
+                post_retraining_accuracy=clamp(post_accuracy),
+                retraining_gpu_seconds=gpu_seconds,
+                inference_config=_REFERENCE_INFERENCE,
+                inference_gpu=share / 2.0,
+                retraining_gpu=share / 2.0,
+                window_seconds=site.spec.window_duration,
+            )
+        else:
+            estimate = estimate_stream_average_accuracy(
+                start_accuracy=start,
+                post_retraining_accuracy=None,
+                retraining_gpu_seconds=0.0,
+                inference_config=_REFERENCE_INFERENCE,
+                inference_gpu=share,
+                retraining_gpu=0.0,
+                window_seconds=site.spec.window_duration,
+            )
         return estimate.average_accuracy
 
     def choose_site(
         self, stream: VideoStream, sites: Sequence[EdgeSite], window_index: int
     ) -> EdgeSite:
         self._require_sites(sites)
+        # The fleet store's best curve point is per stream, not per site —
+        # look it up once for the whole candidate scan.
+        candidate = self._best_shared_candidate(stream)
         # Once a site has GPU to spare the estimate saturates (the reference
         # pipeline cannot get more accurate than the model), so ties are
-        # common early on; break them toward the less-loaded site.
-        return max(
+        # common early on; break them toward the less-loaded site, then the
+        # smallest site name (min over the negated score keeps the name leg
+        # ascending — a max() over (score, -load, name) would resolve full
+        # ties to the lexicographically largest name, violating the module's
+        # tie-break convention).
+        return min(
             sites,
-            key=lambda site: (self.score(stream, site, window_index), -site.load, site.name),
+            key=lambda site: (
+                -self._score(stream, site, window_index, candidate),
+                site.load,
+                site.name,
+            ),
         )

@@ -23,6 +23,13 @@ Event hierarchy (all timestamped in absolute simulated seconds):
   finishes its WAN transfer.  Replaces PR 2's carryover-delay dict: the
   arrival is an absolute timestamp, so it can land mid-window and a window
   execution only pays the *remaining* transfer time.
+* :class:`ProfilePush` — a site's micro-profiled curves land in the
+  fleet-wide :class:`~repro.profiles.fleet_store.FleetProfileStore` after
+  crossing the site's WAN uplink (cross-site profile sharing; scheduled
+  only when sharing is enabled).  Ordered after transfer arrivals — a
+  checkpoint landing at the same instant is observed first — and before
+  control ticks, so admission at the same instant already sees the pushed
+  curves.
 * :class:`ControlTick` — the fleet controller runs admission/rebalancing.
   By default ticks coincide with window boundaries (PR-2 behaviour); an
   explicit ``control_interval`` decouples them entirely (the async fleet
@@ -32,7 +39,7 @@ Event hierarchy (all timestamped in absolute simulated seconds):
   ``window_duration``.
 
 At equal timestamps the class priority above (smaller fires first) fixes the
-semantic order — restore, trigger, arrivals, control, windows — and the
+semantic order — restore, trigger, arrivals, pushes, control, windows — and the
 monotonically increasing sequence number makes ties within a priority fire
 in scheduling order, so event processing is deterministic across runs.
 """
@@ -119,17 +126,38 @@ class TransferArrival(SimEvent):
 
 
 @dataclass(frozen=True)
+class ProfilePush(SimEvent):
+    """One site's profiled curves arrive at the fleet-wide profile store.
+
+    ``profiles`` carries ``(key, profile)`` pairs — the
+    ``(dataset, drift-regime)`` fleet-store key and the pushed
+    :class:`~repro.profiles.profile.StreamWindowProfile` — batched per site
+    and window.  The event's time is the push's *arrival*: departure (the
+    site's window boundary) plus the upload time of the profile payload over
+    the site's current uplink, so a WAN-degraded site contributes stale
+    curves.
+    """
+
+    priority: ClassVar[int] = 3
+    site: str = ""
+    profiles: Tuple = ()
+
+    def describe(self) -> str:
+        return f"{super().describe()}  site={self.site} profiles={len(self.profiles)}"
+
+
+@dataclass(frozen=True)
 class ControlTick(SimEvent):
     """The fleet controller makes its admission/rebalancing decisions."""
 
-    priority: ClassVar[int] = 3
+    priority: ClassVar[int] = 4
 
 
 @dataclass(frozen=True)
 class WindowBoundary(SimEvent):
     """One site starts retraining window ``window_index`` at ``time``."""
 
-    priority: ClassVar[int] = 4
+    priority: ClassVar[int] = 5
     site: str = ""
     window_index: int = 0
 

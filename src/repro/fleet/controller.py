@@ -22,7 +22,7 @@ checkpoint + profile transfer pays for.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence
 
 from ..datasets.generators import make_stream
 from ..datasets.stream import VideoStream
@@ -31,6 +31,9 @@ from ..profiles.dynamics import StreamDynamics
 from .admission import AdmissionPolicy
 from .migration import MigrationCostModel, MigrationEvent
 from .site import EdgeSite
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .factory import ProfileSharing
 
 
 class FleetController:
@@ -46,6 +49,7 @@ class FleetController:
         overload_factor: float = 1.5,
         max_migrations_per_window: int = 4,
         stream_factory: Callable[..., VideoStream] = make_stream,
+        profile_sharing: Optional["ProfileSharing"] = None,
         seed: int = 0,
     ) -> None:
         if not sites:
@@ -64,6 +68,7 @@ class FleetController:
         self._overload_factor = overload_factor
         self._max_migrations = max_migrations_per_window
         self._stream_factory = stream_factory
+        self._profile_sharing = profile_sharing
         self._seed = seed
         self._stream_site: Dict[str, str] = {}
         self._next_index: Dict[str, int] = {}
@@ -88,6 +93,17 @@ class FleetController:
     @property
     def migration_cost(self) -> MigrationCostModel:
         return self._migration_cost
+
+    @property
+    def profile_sharing(self) -> Optional["ProfileSharing"]:
+        """Cross-site profile-sharing wiring, or ``None`` (the default).
+
+        Set by :func:`~repro.fleet.factory.make_fleet` when built with
+        ``profile_sharing=True``; the simulator schedules
+        :class:`~repro.fleet.calendar.ProfilePush` events only when this is
+        present, so sharing is strictly opt-in.
+        """
+        return self._profile_sharing
 
     @property
     def homogeneous_windows(self) -> bool:

@@ -9,14 +9,20 @@ through this, so fleet experiments are reproducible from (shape, seed) alone.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Optional, Sequence, Union
 
 from ..cluster.network import NetworkLink
 from ..core.controller import EkyaPolicy
-from ..core.microprofiler import OracleProfileSource
+from ..core.microprofiler import (
+    MicroProfilerSettings,
+    OracleProfileSource,
+    SharedProfileOracle,
+)
 from ..datasets.generators import make_workload
 from ..exceptions import FleetError
 from ..profiles.dynamics import AnalyticDynamics, StreamDynamics
+from ..profiles.fleet_store import FleetProfileStore
 from ..simulation.experiments import DEFAULT_PROFILER_ERROR_STD, make_config_space
 from ..utils.clock import Clock
 from ..utils.rng import SeedLike
@@ -27,21 +33,52 @@ from .admission import (
     RandomAdmission,
 )
 from .controller import FleetController
-from .migration import MigrationCostModel
+from .migration import PROFILE_SIZE_MBITS, MigrationCostModel
 from .site import EdgeSite, SiteSpec
 
 #: Admission-policy names accepted by :func:`build_admission` / :func:`make_fleet`.
 ADMISSION_NAMES = ("least_loaded", "accuracy_greedy", "random")
 
+#: Warm-started streams profile at most this many candidate configurations
+#: (half of :func:`make_config_space`'s 12-config retraining grid).
+DEFAULT_SHARED_MAX_CONFIGS = 6
+
+
+@dataclass(frozen=True)
+class ProfileSharing:
+    """Cross-site profile-sharing wiring attached to a fleet controller.
+
+    ``store`` is the fleet-wide curve aggregate, ``source`` the
+    warm-started oracle every site profiles through, and
+    ``payload_mbits_per_stream`` the WAN payload one pushed stream profile
+    costs — the simulator batches a site's window into one
+    :class:`~repro.fleet.calendar.ProfilePush` whose arrival pays the
+    site's uplink for the summed payload.
+    """
+
+    store: FleetProfileStore
+    source: SharedProfileOracle
+    payload_mbits_per_stream: float = PROFILE_SIZE_MBITS
+
 
 def build_admission(
-    name: str, dynamics: StreamDynamics, *, seed: SeedLike = 0
+    name: str,
+    dynamics: StreamDynamics,
+    *,
+    seed: SeedLike = 0,
+    shared_profiles: Optional[FleetProfileStore] = None,
 ) -> AdmissionPolicy:
-    """Instantiate an admission policy by its canonical name."""
+    """Instantiate an admission policy by its canonical name.
+
+    ``shared_profiles`` hands the accuracy-greedy policy the fleet profile
+    store, switching its score to the store's post-retraining curve (see
+    :class:`~repro.fleet.admission.AccuracyGreedyAdmission`); the other
+    policies ignore it.
+    """
     if name == "least_loaded":
         return LeastLoadedAdmission()
     if name == "accuracy_greedy":
-        return AccuracyGreedyAdmission(dynamics)
+        return AccuracyGreedyAdmission(dynamics, shared_profiles=shared_profiles)
     if name == "random":
         return RandomAdmission(seed=seed)
     raise FleetError(f"unknown admission policy {name!r}; expected one of {ADMISSION_NAMES}")
@@ -65,6 +102,8 @@ def make_fleet(
     profiler_error_std: float = DEFAULT_PROFILER_ERROR_STD,
     verify_placement: bool = True,
     clock: Optional[Clock] = None,
+    profile_sharing: bool = False,
+    profiling_settings: Optional[MicroProfilerSettings] = None,
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -84,6 +123,21 @@ def make_fleet(
     :class:`~repro.utils.clock.ManualClock` (and passing the same clock to
     :class:`~repro.fleet.simulator.FleetSimulator`) makes fleet results —
     including every ``scheduler_runtime_seconds`` — bit-identical across runs.
+
+    ``profile_sharing`` (off by default — the sharing-off fleet reproduces
+    the pre-sharing engine bit for bit) wires the cross-site profile-sharing
+    subsystem: every site profiles through one
+    :class:`~repro.core.microprofiler.SharedProfileOracle` whose estimates
+    carry modelled micro-profiling cost, sites push their curves into a
+    fleet-wide :class:`~repro.profiles.fleet_store.FleetProfileStore` over
+    the event calendar (paying WAN uplink), new/migrated streams warm-start
+    from neighbours' curves, and an ``accuracy_greedy`` admission scores
+    with the store's post-retraining curve.  ``profiling_settings`` tunes
+    the modelled micro-profiler; when omitted, the fleet caps warm-start
+    pruning at ``max_configs=DEFAULT_SHARED_MAX_CONFIGS``.  A custom
+    settings object is used verbatim — set its ``max_configs`` *below* the
+    retraining-grid size (12 here), or warm starts prune nothing and the
+    saved-profiling metric stays 0.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -96,10 +150,30 @@ def make_fleet(
     )
     if not durations or any(duration <= 0 for duration in durations):
         raise FleetError("window_duration entries must be positive")
+    if profiling_settings is not None and not profile_sharing:
+        raise FleetError(
+            "profiling_settings only tunes the shared profile source; "
+            "pass profile_sharing=True (or drop the settings)"
+        )
     dynamics = AnalyticDynamics(seed=seed)
-    profile_source = OracleProfileSource(
-        dynamics, accuracy_error_std=profiler_error_std, seed=seed + 1
-    )
+    sharing: Optional[ProfileSharing] = None
+    if profile_sharing:
+        fleet_store = FleetProfileStore()
+        settings = profiling_settings or MicroProfilerSettings(
+            max_configs=DEFAULT_SHARED_MAX_CONFIGS
+        )
+        profile_source: OracleProfileSource = SharedProfileOracle(
+            dynamics,
+            fleet_store,
+            settings=settings,
+            accuracy_error_std=profiler_error_std,
+            seed=seed + 1,
+        )
+        sharing = ProfileSharing(store=fleet_store, source=profile_source)
+    else:
+        profile_source = OracleProfileSource(
+            dynamics, accuracy_error_std=profiler_error_std, seed=seed + 1
+        )
     policy = EkyaPolicy(
         profile_source, make_config_space(), steal_quantum=delta, name="Ekya", clock=clock
     )
@@ -123,7 +197,12 @@ def make_fleet(
             )
         )
     if isinstance(admission, str):
-        admission = build_admission(admission, dynamics, seed=seed + 2)
+        admission = build_admission(
+            admission,
+            dynamics,
+            seed=seed + 2,
+            shared_profiles=sharing.store if sharing is not None else None,
+        )
     controller = FleetController(
         sites,
         dynamics=dynamics,
@@ -131,6 +210,7 @@ def make_fleet(
         migration_cost=migration_cost,
         overload_factor=overload_factor,
         max_migrations_per_window=max_migrations_per_window,
+        profile_sharing=sharing,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

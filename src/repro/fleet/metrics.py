@@ -83,6 +83,12 @@ class SiteWindowStats:
     allocation_loss: float
     mean_accuracy: float
     scheduler_runtime_seconds: float
+    #: GPU-seconds the site spent micro-profiling this window (0.0 unless
+    #: cross-site profile sharing models the profiling cost).
+    profiling_gpu_seconds: float = 0.0
+    #: GPU-seconds of micro-profiling the fleet profile store saved this
+    #: window by warm-starting streams from neighbours' curves.
+    profiling_gpu_seconds_saved: float = 0.0
 
 
 @dataclass
@@ -125,6 +131,20 @@ class FleetWindowResult:
     def allocation_loss(self) -> float:
         """Fleet-wide GPU fraction lost to placement quantisation this window."""
         return float(sum(stats.allocation_loss for stats in self.site_stats.values()))
+
+    @property
+    def profiling_gpu_seconds(self) -> float:
+        """Fleet-wide GPU-seconds spent micro-profiling this window."""
+        return float(
+            sum(stats.profiling_gpu_seconds for stats in self.site_stats.values())
+        )
+
+    @property
+    def profiling_gpu_seconds_saved(self) -> float:
+        """Fleet-wide profiling GPU-seconds saved by warm starts this window."""
+        return float(
+            sum(stats.profiling_gpu_seconds_saved for stats in self.site_stats.values())
+        )
 
 
 @dataclass
@@ -199,6 +219,17 @@ class FleetResult:
         """Mean fleet-wide per-window GPU fraction lost to quantisation."""
         return safe_mean([w.allocation_loss for w in self.windows])
 
+    # ----------------------------------------------------------- profiling
+    @property
+    def total_profiling_gpu_seconds(self) -> float:
+        """GPU-seconds spent micro-profiling over the whole run."""
+        return float(sum(w.profiling_gpu_seconds for w in self.windows))
+
+    @property
+    def profiling_gpu_seconds_saved(self) -> float:
+        """GPU-seconds of profiling the fleet store's warm starts saved."""
+        return float(sum(w.profiling_gpu_seconds_saved for w in self.windows))
+
     # -------------------------------------------------------------- export
     def summary(self) -> Dict[str, object]:
         """Flat JSON-friendly summary (benchmark trajectories, examples)."""
@@ -215,5 +246,7 @@ class FleetResult:
             "migrations_by_reason": self.migrations_by_reason(),
             "mean_utilization": safe_mean(list(utilization.values())),
             "mean_allocation_loss": self.mean_allocation_loss,
+            "profiling_gpu_seconds": self.total_profiling_gpu_seconds,
+            "profiling_gpu_seconds_saved": self.profiling_gpu_seconds_saved,
             "wall_clock_seconds": self.wall_clock_seconds,
         }

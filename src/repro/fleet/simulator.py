@@ -19,6 +19,10 @@ dispatched to one handler each:
   are absolute timestamps, so a transfer can complete mid-window and the
   next window pays only the remaining time; one spanning several windows
   keeps delaying retraining until it has fully arrived.
+* ``ProfilePush`` — a site's micro-profiled curves land in the fleet-wide
+  profile store (cross-site profile sharing; scheduled only for fleets
+  built with ``make_fleet(profile_sharing=True)``).  The arrival paid the
+  source site's uplink, so degraded sites contribute stale curves.
 * ``ControlTick`` — the controller rebalances.  Ticks coincide with window
   boundaries by default (the PR-2 cadence); pass ``control_interval`` to
   run the control plane on its own cadence, decoupled from windows.
@@ -49,12 +53,14 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from ..exceptions import FleetError
+from ..profiles.fleet_store import stream_profile_key
 from ..utils.clock import Clock, Stopwatch
 from ..utils.math_utils import safe_mean
 from .calendar import (
     ControlTick,
     EventCalendar,
     MigrationStarted,
+    ProfilePush,
     ScenarioTrigger,
     SimEvent,
     SiteRecovery,
@@ -371,6 +377,8 @@ class FleetSimulator:
             self._on_window_boundary(event)
         elif isinstance(event, ControlTick):
             self._on_control_tick(event)
+        elif isinstance(event, ProfilePush):
+            self._on_profile_push(event)
         elif isinstance(event, TransferArrival):
             self._on_transfer_arrival(event)
         elif isinstance(event, ScenarioTrigger):
@@ -436,6 +444,14 @@ class FleetSimulator:
         if self._transfer_arrival.get(event.stream) == event.time:
             del self._transfer_arrival[event.stream]
 
+    def _on_profile_push(self, event: ProfilePush) -> None:
+        """A site's profiled curves finish their uplink crossing and merge."""
+        sharing = self._controller.profile_sharing
+        if sharing is None:  # pragma: no cover - pushes imply sharing is wired
+            return
+        for key, profile in event.profiles:
+            sharing.store.push(key, profile)
+
     def _on_window_boundary(self, boundary: WindowBoundary) -> None:
         controller = self._controller
         site = controller.site(boundary.site)
@@ -449,6 +465,7 @@ class FleetSimulator:
         window_result = site.run_window(boundary.window_index, retraining_delays=delays)
         if window_result is None:
             return
+        profiling_cost, profiling_saved = self._share_profiles(site, boundary)
         cycle.site_results[site.name] = window_result
         cycle.site_stats[site.name] = SiteWindowStats(
             site=site.name,
@@ -461,6 +478,8 @@ class FleetSimulator:
                 [o.realized_average_accuracy for o in window_result.outcomes.values()]
             ),
             scheduler_runtime_seconds=window_result.schedule.scheduler_runtime_seconds,
+            profiling_gpu_seconds=profiling_cost,
+            profiling_gpu_seconds_saved=profiling_saved,
         )
         for name, outcome in window_result.outcomes.items():
             cycle.stream_outcomes[name] = FleetStreamOutcome(
@@ -469,6 +488,38 @@ class FleetSimulator:
                 outcome=outcome,
                 migrations=tuple(self._migrated_into.pop(name, ())),
             )
+
+    # ------------------------------------------------------- profile sharing
+    def _share_profiles(self, site: EdgeSite, boundary: WindowBoundary):
+        """Account this window's profiling and push its curves fleet-wide.
+
+        Returns the ``(profiling_gpu_seconds, profiling_gpu_seconds_saved)``
+        pair for the site's :class:`~repro.fleet.metrics.SiteWindowStats`.
+        With sharing enabled, the window's freshly profiled curves are
+        batched into one :class:`~repro.fleet.calendar.ProfilePush` whose
+        arrival time pays the site's *current* uplink for the summed
+        per-stream payload — a WAN-degraded site's curves land late, so
+        neighbours warm-start from whatever has actually arrived.
+        """
+        sharing = self._controller.profile_sharing
+        if sharing is None:
+            return 0.0, 0.0
+        cost = saved = 0.0
+        pushes = []
+        for name in site.stream_names:
+            profile = sharing.source.local_store.maybe_get(name, boundary.window_index)
+            if profile is None:
+                continue
+            cost += profile.profiling_gpu_seconds
+            saved += sharing.source.pop_saved(name, boundary.window_index)
+            pushes.append((stream_profile_key(site.server.stream(name)), profile))
+        if pushes:
+            payload = sharing.payload_mbits_per_stream * len(pushes)
+            arrival = boundary.time + site.link.upload_seconds(payload)
+            self._calendar.schedule(
+                ProfilePush(time=arrival, site=site.name, profiles=tuple(pushes))
+            )
+        return cost, saved
 
     # ------------------------------------------------------------- transfers
     def _register_migrations(self, migrations: List[MigrationEvent], time: float) -> None:

@@ -56,8 +56,32 @@ class SiteSpec:
     link: NetworkLink = CELLULAR_4G_X2
 
     def __post_init__(self) -> None:
+        """Validate the spec up front, so a bad site fails at construction.
+
+        Without these checks a ``num_gpus=0`` site is accepted and the error
+        surfaces later — as a bare ``ZeroDivisionError`` from
+        :attr:`EdgeSite.load` or, confusingly, from ``EdgeServerSpec``
+        validation deep inside the first window — instead of as a
+        :class:`FleetError` naming the site.
+        """
         if not self.name:
             raise FleetError("site name must be non-empty")
+        if self.num_gpus < 1:
+            raise FleetError(f"site {self.name!r} needs num_gpus >= 1, got {self.num_gpus}")
+        if not 0 < self.delta <= self.num_gpus:
+            raise FleetError(
+                f"site {self.name!r} needs delta in (0, num_gpus], got {self.delta}"
+            )
+        if not 0.0 <= self.min_inference_accuracy < 1.0:
+            raise FleetError(
+                f"site {self.name!r} needs min_inference_accuracy in [0, 1), "
+                f"got {self.min_inference_accuracy}"
+            )
+        if self.window_duration <= 0:
+            raise FleetError(
+                f"site {self.name!r} needs a positive window_duration, "
+                f"got {self.window_duration}"
+            )
 
     def server_spec(self) -> EdgeServerSpec:
         return EdgeServerSpec(

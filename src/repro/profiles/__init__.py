@@ -7,6 +7,7 @@ from .dynamics import (
     SubstrateDynamics,
     config_quality,
 )
+from .fleet_store import FleetProfileStore, regime_key, stream_profile_key
 from .profile import RetrainingEstimate, StreamWindowProfile, merge_profiles
 from .store import ProfileStore
 from .table1 import (
@@ -30,6 +31,9 @@ __all__ = [
     "StreamWindowProfile",
     "merge_profiles",
     "ProfileStore",
+    "FleetProfileStore",
+    "regime_key",
+    "stream_profile_key",
     "TABLE1_A_MIN",
     "TABLE1_NUM_GPUS",
     "TABLE1_START_ACCURACY",

@@ -23,10 +23,16 @@ class ProfileStore:
 
     def __init__(self) -> None:
         self._profiles: Dict[Tuple[str, int], StreamWindowProfile] = {}
+        #: Per-stream index over the same profiles.  ``history_for`` is
+        #: called once per stream per window, so scanning the whole store
+        #: there is quadratic in windows for long runs; the index makes it
+        #: O(own windows) instead.
+        self._by_stream: Dict[str, Dict[int, StreamWindowProfile]] = {}
 
     # ------------------------------------------------------------------ CRUD
     def put(self, profile: StreamWindowProfile) -> None:
         self._profiles[(profile.stream_name, profile.window_index)] = profile
+        self._by_stream.setdefault(profile.stream_name, {})[profile.window_index] = profile
 
     def get(self, stream_name: str, window_index: int) -> StreamWindowProfile:
         try:
@@ -47,7 +53,7 @@ class ProfileStore:
 
     # --------------------------------------------------------------- history
     def windows_for(self, stream_name: str) -> List[int]:
-        return sorted(w for (name, w) in self._profiles if name == stream_name)
+        return sorted(self._by_stream.get(stream_name, ()))
 
     def history_for(
         self, stream_name: str, *, up_to_window: Optional[int] = None
@@ -55,12 +61,12 @@ class ProfileStore:
         """Mean (gpu_seconds, accuracy) per configuration over past windows.
 
         This is the signal used to prune configurations far from the Pareto
-        frontier before micro-profiling the next window.
+        frontier before micro-profiling the next window.  Served from the
+        per-stream index, so the cost is bounded by the stream's own window
+        count rather than the whole store.
         """
         sums: Dict[RetrainingConfig, List[float]] = {}
-        for (name, window_index), profile in self._profiles.items():
-            if name != stream_name:
-                continue
+        for window_index, profile in self._by_stream.get(stream_name, {}).items():
             if up_to_window is not None and window_index >= up_to_window:
                 continue
             for config, estimate in profile.estimates.items():

@@ -739,3 +739,130 @@ class TestScenarioValidationUpFront:
         assert result.windows[1].admitted_streams
         assert result.windows[1].num_streams == 4
         assert result.windows[2].num_streams == 7
+
+
+class TestProfileSharing:
+    """Cross-site profile sharing: warm-started micro-profiling over the
+    event calendar, strictly opt-in via ``make_fleet(profile_sharing=True)``."""
+
+    def _flash_crowd_run(self, *, profile_sharing, num_windows=4):
+        controller = make_fleet(
+            2,
+            3,
+            gpus_per_site=2,
+            seed=SEED,
+            profile_sharing=profile_sharing,
+        )
+        scenario = Scenario(
+            events=[FlashCrowd(window=2, num_streams=2, dataset="cityscapes")]
+        )
+        simulator = FleetSimulator(controller, scenario)
+        return simulator, simulator.run(num_windows)
+
+    def test_flash_crowd_stream_warm_starts_below_cold_start_cost(self):
+        simulator, result = self._flash_crowd_run(profile_sharing=True)
+        source = simulator.controller.profile_sharing.source
+        # Cold start: an initial stream's first window profiled the full
+        # grid.  Warm start: a flash-crowd stream of the same (dataset,
+        # drift-regime) arrives after the window-0/1 pushes have crossed the
+        # WAN, so its first window profiles the pruned candidate set.
+        cold = source.local_store.get("cityscapes-0", 0).profiling_gpu_seconds
+        assert cold > 0
+        admitted = result.windows[2].admitted_streams
+        assert admitted
+        for name in admitted:
+            warm = source.local_store.get(name, 2).profiling_gpu_seconds
+            assert 0 < warm < cold
+        assert result.summary()["profiling_gpu_seconds_saved"] > 0
+        assert result.summary()["profiling_gpu_seconds"] > 0
+        # Per-window attribution: the savings land in the flash-crowd window.
+        assert result.windows[2].profiling_gpu_seconds_saved > 0
+        assert result.windows[0].profiling_gpu_seconds_saved == 0.0
+
+    def test_pushes_ride_the_calendar_and_pay_the_uplink(self):
+        from repro.fleet import ProfilePush
+
+        simulator, _ = self._flash_crowd_run(profile_sharing=True)
+        pushes = [
+            event
+            for event in simulator.event_trace
+            if isinstance(event, ProfilePush)
+        ]
+        assert pushes
+        boundary_times = {
+            event.time
+            for event in simulator.event_trace
+            if isinstance(event, WindowBoundary)
+        }
+        # Arrival strictly after the boundary the curves were profiled at:
+        # the push pays real WAN uplink time.
+        assert all(push.time not in boundary_times for push in pushes)
+        store = simulator.controller.profile_sharing.store
+        assert store.num_pushes == sum(len(push.profiles) for push in pushes)
+
+    def test_degraded_uplink_delays_the_push(self):
+        def arrival_of_first_push(events):
+            from repro.fleet import ProfilePush
+
+            controller = make_fleet(
+                2, 3, gpus_per_site=2, seed=SEED, profile_sharing=True
+            )
+            simulator = FleetSimulator(controller, Scenario(events=events))
+            simulator.run(2)
+            return min(
+                event.time
+                for event in simulator.event_trace
+                if isinstance(event, ProfilePush) and event.site == "site-0"
+            )
+
+        healthy = arrival_of_first_push([])
+        degraded = arrival_of_first_push(
+            [WanDegradation(window=0, site="site-0", uplink_factor=0.05)]
+        )
+        assert degraded > healthy
+
+    def test_sharing_is_off_by_default_and_schedules_no_pushes(self):
+        from repro.fleet import ProfilePush
+
+        simulator, result = self._flash_crowd_run(profile_sharing=False)
+        assert simulator.controller.profile_sharing is None
+        assert not any(
+            isinstance(event, ProfilePush) for event in simulator.event_trace
+        )
+        summary = result.summary()
+        assert summary["profiling_gpu_seconds"] == 0.0
+        assert summary["profiling_gpu_seconds_saved"] == 0.0
+
+    def test_sharing_off_accuracy_metrics_are_bit_identical_to_seedless_run(self):
+        """profile_sharing=False must not perturb the existing engine at all
+        (the golden-parity and fleet-baseline gates depend on it)."""
+        _, default_run = self._flash_crowd_run(profile_sharing=False)
+        controller = make_fleet(2, 3, gpus_per_site=2, seed=SEED)
+        explicit_off = FleetSimulator(
+            controller,
+            Scenario(events=[FlashCrowd(window=2, num_streams=2, dataset="cityscapes")]),
+        ).run(4)
+        assert default_run.mean_accuracy == explicit_off.mean_accuracy
+        assert default_run.worst_stream_accuracy(10.0) == explicit_off.worst_stream_accuracy(10.0)
+        for ours, theirs in zip(default_run.windows, explicit_off.windows):
+            assert ours.mean_accuracy == theirs.mean_accuracy
+
+    def test_shared_admission_uses_post_retraining_curves_for_flash_crowds(self):
+        controller = make_fleet(
+            2,
+            3,
+            gpus_per_site=2,
+            admission="accuracy_greedy",
+            seed=SEED,
+            profile_sharing=True,
+        )
+        policy = controller.admission_policy
+        assert policy.name == "accuracy-greedy"
+        scenario = Scenario(
+            events=[FlashCrowd(window=2, num_streams=2, dataset="cityscapes")]
+        )
+        result = FleetSimulator(controller, scenario).run(4)
+        # The flash crowd was placed and served; scoring went through the
+        # shared store (it has curves for the key by window 2).
+        assert result.windows[2].admitted_streams
+        assert controller.profile_sharing.store.num_pushes > 0

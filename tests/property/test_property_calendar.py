@@ -11,6 +11,7 @@ from hypothesis import strategies as st
 from repro.fleet import (
     ControlTick,
     EventCalendar,
+    ProfilePush,
     ScenarioTrigger,
     SiteRecovery,
     TransferArrival,
@@ -21,6 +22,7 @@ _EVENT_MAKERS = [
     lambda t: SiteRecovery(time=t, site="s", owner=None),
     lambda t: ScenarioTrigger(time=t, event=None),
     lambda t: TransferArrival(time=t, stream="x"),
+    lambda t: ProfilePush(time=t, site="s"),
     lambda t: ControlTick(time=t),
     lambda t: WindowBoundary(time=t, site="s", window_index=0),
 ]

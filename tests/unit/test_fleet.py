@@ -126,6 +126,32 @@ class TestEdgeSite:
         with pytest.raises(FleetError):
             SiteSpec(name="")
 
+    def test_spec_validates_capacity_and_window_up_front(self):
+        """Regression: SiteSpec(num_gpus=0) used to be accepted and blow up
+        later as a bare ZeroDivisionError from EdgeSite.load (or confusingly
+        from EdgeServerSpec); it must fail at construction as a FleetError."""
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", num_gpus=0)
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", num_gpus=-1)
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", window_duration=0.0)
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", window_duration=-200.0)
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", delta=0.0)
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", num_gpus=2, delta=3.0)  # delta > num_gpus
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", min_inference_accuracy=1.0)
+        with pytest.raises(FleetError):
+            SiteSpec(name="x", min_inference_accuracy=-0.1)
+        # A valid spec still builds and its server spec agrees field by field.
+        spec = SiteSpec(name="ok", num_gpus=2, delta=0.5, window_duration=150.0)
+        server_spec = spec.server_spec()
+        assert server_spec.num_gpus == 2
+        assert server_spec.window_duration == pytest.approx(150.0)
+
 
 # ------------------------------------------------------------------ admission
 class TestAdmissionPolicies:
@@ -169,6 +195,80 @@ class TestAdmissionPolicies:
     def test_no_healthy_sites_raises(self):
         with pytest.raises(FleetError):
             LeastLoadedAdmission().choose_site(make_stream("waymo", 0, seed=0), [], 0)
+
+    def test_full_ties_break_on_smallest_site_name_for_both_policies(self):
+        """Regression: AccuracyGreedyAdmission's max() over a (score, -load,
+        name) key resolved full ties to the lexicographically *largest*
+        name, contradicting the documented smallest-name convention that
+        LeastLoadedAdmission follows."""
+        dynamics = AnalyticDynamics(seed=0)
+        stream = make_stream("waymo", 0, seed=0)
+        # Empty identical sites: identical load and identical scores.
+        sites = self._sites([0, 0, 0], dynamics)
+        greedy = AccuracyGreedyAdmission(dynamics)
+        scores = [greedy.score(stream, site, 0) for site in sites]
+        assert scores[0] == scores[1] == scores[2]
+        assert greedy.choose_site(stream, sites, 0).name == "site-0"
+        assert LeastLoadedAdmission().choose_site(stream, sites, 0).name == "site-0"
+        # Order of the candidate list must not matter.
+        assert greedy.choose_site(stream, list(reversed(sites)), 0).name == "site-0"
+        assert (
+            LeastLoadedAdmission().choose_site(stream, list(reversed(sites)), 0).name
+            == "site-0"
+        )
+        # A score tie with unequal load still prefers the less-loaded site.
+        uneven = [sites[2], sites[0]]
+        uneven[1].attach(make_stream("cityscapes", 900, seed=1))
+        if greedy.score(stream, uneven[0], 0) == greedy.score(stream, uneven[1], 0):
+            assert greedy.choose_site(stream, uneven, 0).name == "site-2"
+
+    def test_shared_profiles_mode_scores_with_post_retraining_curve(self):
+        from repro.profiles import (
+            FleetProfileStore,
+            RetrainingEstimate,
+            StreamWindowProfile,
+            stream_profile_key,
+        )
+        from repro.configs import RetrainingConfig
+
+        dynamics = AnalyticDynamics(seed=0)
+        stream = make_stream("cityscapes", 0, seed=0)
+        sites = self._sites([0, 0], dynamics)
+        store = FleetProfileStore()
+        shared = AccuracyGreedyAdmission(dynamics, shared_profiles=store)
+        stale = AccuracyGreedyAdmission(dynamics)
+        # Empty store: identical to the stale no-retraining estimate.
+        assert shared.score(stream, sites[0], 0) == stale.score(stream, sites[0], 0)
+        # Seed the stream's key with a high post-retraining curve: the score
+        # must now exceed the stale estimate (retraining pays off in-window).
+        profile = StreamWindowProfile(
+            stream_name="cityscapes-9", window_index=0, start_accuracy=0.5
+        )
+        profile.add(
+            RetrainingEstimate(
+                config=RetrainingConfig(epochs=5),
+                post_retraining_accuracy=0.99,
+                gpu_seconds=10.0,
+            )
+        )
+        store.push(stream_profile_key(stream), profile)
+        assert shared.score(stream, sites[0], 0) > stale.score(stream, sites[0], 0)
+        chosen = shared.choose_site(stream, sites, 0)
+        assert chosen.name == "site-0"  # determinism unchanged
+
+    def test_profiling_settings_require_profile_sharing(self):
+        from repro.core import MicroProfilerSettings
+
+        with pytest.raises(FleetError):
+            make_fleet(1, 1, profiling_settings=MicroProfilerSettings(max_configs=4))
+        # With sharing on the settings are honoured.
+        controller = make_fleet(
+            1,
+            1,
+            profile_sharing=True,
+            profiling_settings=MicroProfilerSettings(max_configs=4),
+        )
+        assert controller.profile_sharing is not None
 
     def test_build_admission_names(self):
         dynamics = AnalyticDynamics(seed=0)

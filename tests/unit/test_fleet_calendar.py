@@ -6,6 +6,7 @@ from repro.exceptions import FleetError, SimulationError
 from repro.fleet import (
     ControlTick,
     EventCalendar,
+    ProfilePush,
     ScenarioTrigger,
     SiteFailure,
     SiteRecovery,
@@ -30,6 +31,7 @@ class TestEventCalendar:
         # Scheduled in reverse semantic order; all at t=100.
         calendar.schedule(WindowBoundary(time=100.0, site="a", window_index=1))
         calendar.schedule(ControlTick(time=100.0))
+        calendar.schedule(ProfilePush(time=100.0, site="a"))
         calendar.schedule(TransferArrival(time=100.0, stream="s"))
         calendar.schedule(ScenarioTrigger(time=100.0, event=None))
         calendar.schedule(SiteRecovery(time=100.0, site="a", owner=None))
@@ -38,9 +40,18 @@ class TestEventCalendar:
             SiteRecovery,
             ScenarioTrigger,
             TransferArrival,
+            ProfilePush,
             ControlTick,
             WindowBoundary,
         ]
+
+    def test_profile_push_slots_between_arrivals_and_control(self):
+        """The sharing event must see same-instant checkpoints first and be
+        visible to same-instant admission decisions."""
+        assert TransferArrival.priority < ProfilePush.priority < ControlTick.priority
+        push = ProfilePush(time=42.0, site="site-0", profiles=(("k", None),))
+        text = push.describe()
+        assert "ProfilePush" in text and "site-0" in text and "profiles=1" in text
 
     def test_sequence_breaks_full_ties_in_scheduling_order(self):
         calendar = EventCalendar()

@@ -1,0 +1,136 @@
+"""Unit tests for the fleet-wide profile store and its stream keying."""
+
+import json
+
+import pytest
+
+from repro.configs import RetrainingConfig
+from repro.datasets import DriftProfile, make_stream
+from repro.profiles import (
+    FleetProfileStore,
+    RetrainingEstimate,
+    StreamWindowProfile,
+    regime_key,
+    stream_profile_key,
+)
+
+
+def _profile(stream="cam", window=0, accuracies=(0.7, 0.85), costs=(10.0, 60.0)):
+    profile = StreamWindowProfile(
+        stream_name=stream, window_index=window, start_accuracy=0.6
+    )
+    for epochs, accuracy, cost in zip((5, 30), accuracies, costs):
+        profile.add(
+            RetrainingEstimate(
+                config=RetrainingConfig(epochs=epochs),
+                post_retraining_accuracy=accuracy,
+                gpu_seconds=cost,
+                profiling_gpu_seconds=cost / 10.0,
+            )
+        )
+    return profile
+
+
+KEY = ("cityscapes", "regime-a")
+
+
+class TestStreamKeying:
+    def test_regime_key_distinguishes_drift_profiles(self):
+        a = DriftProfile(distribution_volatility=0.3)
+        b = DriftProfile(distribution_volatility=0.4)
+        assert regime_key(a) != regime_key(b)
+        assert regime_key(a) == regime_key(DriftProfile(distribution_volatility=0.3))
+
+    def test_generated_streams_of_one_dataset_share_a_key(self):
+        first = stream_profile_key(make_stream("cityscapes", 0, seed=0))
+        second = stream_profile_key(make_stream("cityscapes", 7, seed=3))
+        assert first == second
+        assert first[0] == "cityscapes"
+
+    def test_datasets_get_distinct_keys(self):
+        assert stream_profile_key(make_stream("cityscapes", 0, seed=0)) != (
+            stream_profile_key(make_stream("urban_traffic", 0, seed=0))
+        )
+
+    def test_non_indexed_names_fall_back_to_the_full_name(self):
+        from repro.datasets import VideoStream
+
+        stream = VideoStream(
+            name="lone-camera-feed",
+            drift_profile=DriftProfile(),
+            samples_per_window=120,
+            eval_samples_per_window=80,
+            seed=0,
+        )
+        assert stream_profile_key(stream)[0] == "lone-camera-feed"
+
+
+class TestFleetProfileStore:
+    def test_empty_store(self):
+        store = FleetProfileStore()
+        assert len(store) == 0
+        assert store.num_pushes == 0
+        assert KEY not in store
+        assert store.curves_for(KEY) == {}
+        assert store.best_candidate(KEY) is None
+
+    def test_push_aggregates_means(self):
+        store = FleetProfileStore()
+        store.push(KEY, _profile(accuracies=(0.7, 0.85), costs=(10.0, 60.0)))
+        store.push(KEY, _profile(accuracies=(0.8, 0.95), costs=(20.0, 80.0)))
+        assert KEY in store
+        assert store.pushes_for(KEY) == 2
+        curves = store.curves_for(KEY)
+        cost, accuracy = curves[RetrainingConfig(epochs=5)]
+        assert cost == pytest.approx(15.0)
+        assert accuracy == pytest.approx(0.75)
+        cost, accuracy = curves[RetrainingConfig(epochs=30)]
+        assert cost == pytest.approx(70.0)
+        assert accuracy == pytest.approx(0.90)
+
+    def test_keys_are_isolated(self):
+        store = FleetProfileStore()
+        other = ("waymo", "regime-b")
+        store.push(KEY, _profile())
+        store.push(other, _profile(accuracies=(0.5, 0.6)))
+        assert store.curves_for(KEY)[RetrainingConfig(epochs=30)][1] == pytest.approx(0.85)
+        assert store.curves_for(other)[RetrainingConfig(epochs=30)][1] == pytest.approx(0.6)
+        assert store.keys() == sorted([KEY, other])
+
+    def test_best_candidate_prefers_accuracy_then_cost(self):
+        store = FleetProfileStore()
+        store.push(KEY, _profile(accuracies=(0.7, 0.85), costs=(10.0, 60.0)))
+        config, cost, accuracy = store.best_candidate(KEY)
+        assert config == RetrainingConfig(epochs=30)
+        assert cost == pytest.approx(60.0)
+        assert accuracy == pytest.approx(0.85)
+        # A full accuracy tie resolves toward the cheaper configuration.
+        tied = FleetProfileStore()
+        tied.push(KEY, _profile(accuracies=(0.85, 0.85), costs=(10.0, 60.0)))
+        config, cost, _ = tied.best_candidate(KEY)
+        assert config == RetrainingConfig(epochs=5)
+        assert cost == pytest.approx(10.0)
+
+    def test_curves_shape_matches_history_for(self):
+        """curves_for must be drop-in for ProfileStore.history_for pruning."""
+        from repro.profiles import ProfileStore
+
+        local = ProfileStore()
+        profile = _profile(stream="cam", window=0)
+        local.put(profile)
+        store = FleetProfileStore()
+        store.push(KEY, profile)
+        assert store.curves_for(KEY) == local.history_for("cam", up_to_window=1)
+
+    def test_dict_round_trip_through_json(self):
+        store = FleetProfileStore()
+        store.push(KEY, _profile())
+        store.push(KEY, _profile(accuracies=(0.8, 0.9)))
+        store.push(("waymo", "regime-b"), _profile())
+        payload = json.loads(json.dumps(store.as_dict()))
+        restored = FleetProfileStore.from_dict(payload)
+        assert restored.keys() == store.keys()
+        assert restored.num_pushes == store.num_pushes
+        for key in store.keys():
+            assert restored.curves_for(key) == store.curves_for(key)
+            assert restored.best_candidate(key) == store.best_candidate(key)

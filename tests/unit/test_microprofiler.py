@@ -9,9 +9,15 @@ from repro.core import (
     MicroProfilerSettings,
     MicroProfilingSource,
     OracleProfileSource,
+    SharedProfileOracle,
 )
 from repro.exceptions import ProfilingError
-from repro.profiles import AnalyticDynamics, SubstrateDynamics
+from repro.profiles import (
+    AnalyticDynamics,
+    FleetProfileStore,
+    SubstrateDynamics,
+    stream_profile_key,
+)
 
 
 @pytest.fixture()
@@ -155,3 +161,94 @@ class TestMicroProfilingSource:
         source.profile(small_stream, 1, configs)
         history = source.store.history_for(small_stream.name, up_to_window=2)
         assert history
+
+    def test_fleet_store_warm_starts_first_window(self, small_stream, configs):
+        """With no local history, the fleet store's curves seed the pruning:
+        the first window profiles max_configs candidates, not the full set."""
+
+        def build(fleet_store):
+            return MicroProfilingSource(
+                SubstrateDynamics(seed=0, exemplars_per_class=10),
+                settings=MicroProfilerSettings(
+                    data_fraction=0.3, profiling_epochs=3, max_configs=2
+                ),
+                fleet_store=fleet_store,
+                seed=0,
+            )
+
+        cold = build(None).profile(small_stream, 0, configs)
+        assert len(cold.estimates) == len(configs)
+
+        store = FleetProfileStore()
+        store.push(stream_profile_key(small_stream), cold)
+        warm = build(store).profile(small_stream, 0, configs)
+        assert len(warm.estimates) <= 2
+        assert warm.profiling_gpu_seconds < cold.profiling_gpu_seconds
+
+    def test_local_history_takes_precedence_over_fleet_curves(self, small_stream, configs):
+        store = FleetProfileStore()
+        source = MicroProfilingSource(
+            SubstrateDynamics(seed=0, exemplars_per_class=10),
+            settings=MicroProfilerSettings(
+                data_fraction=0.3, profiling_epochs=3, max_configs=2
+            ),
+            fleet_store=store,
+            seed=0,
+        )
+        first = source.profile(small_stream, 0, configs)
+        # Empty fleet store: cold start profiles everything.
+        assert len(first.estimates) == len(configs)
+        # Window 1 prunes from the now-present *local* history.
+        second = source.profile(small_stream, 1, configs)
+        assert len(second.estimates) <= 2
+
+
+class TestSharedProfileOracle:
+    def _oracle(self, store, *, max_configs=2, error=0.0):
+        return SharedProfileOracle(
+            AnalyticDynamics(seed=0),
+            store,
+            settings=MicroProfilerSettings(max_configs=max_configs),
+            accuracy_error_std=error,
+            seed=1,
+        )
+
+    def test_cold_start_profiles_full_grid_with_modelled_cost(self, small_stream, configs):
+        oracle = self._oracle(FleetProfileStore())
+        profile = oracle.profile(small_stream, 0, configs)
+        assert len(profile.estimates) == len(configs)
+        assert profile.profiling_gpu_seconds > 0
+        for estimate in profile.estimates.values():
+            assert 0 < estimate.profiling_gpu_seconds < estimate.gpu_seconds
+        # Cold starts save nothing.
+        assert oracle.pop_saved(small_stream.name, 0) == 0.0
+        assert (small_stream.name, 0) in oracle.local_store
+
+    def test_zero_error_estimates_match_plain_oracle(self, small_stream, configs):
+        dynamics = AnalyticDynamics(seed=0)
+        shared = SharedProfileOracle(dynamics, FleetProfileStore(), seed=1)
+        plain = OracleProfileSource(AnalyticDynamics(seed=0), seed=1)
+        ours = shared.profile(small_stream, 2, configs)
+        reference = plain.profile(small_stream, 2, configs)
+        for config in configs:
+            assert ours.estimate_for(config).post_retraining_accuracy == (
+                reference.estimate_for(config).post_retraining_accuracy
+            )
+
+    def test_warm_start_prunes_and_records_savings(self, small_stream, configs):
+        store = FleetProfileStore()
+        seeder = self._oracle(store)
+        store.push(
+            stream_profile_key(small_stream), seeder.profile(small_stream, 0, configs)
+        )
+        oracle = self._oracle(store)
+        cold_cost = sum(
+            oracle.profiling_gpu_seconds(small_stream, 0, config) for config in configs
+        )
+        profile = oracle.profile(small_stream, 0, configs)
+        assert len(profile.estimates) <= 2
+        assert 0 < profile.profiling_gpu_seconds < cold_cost
+        saved = oracle.pop_saved(small_stream.name, 0)
+        assert saved == pytest.approx(cold_cost - profile.profiling_gpu_seconds)
+        # Draining is one-shot.
+        assert oracle.pop_saved(small_stream.name, 0) == 0.0

@@ -133,6 +133,89 @@ class TestProfileStore:
         assert len(restored) == 1
         assert restored.get("cam", 0).best_accuracy() == pytest.approx(0.85)
 
+    def test_dict_roundtrip_preserves_every_estimate_field(self):
+        import json
+
+        store = ProfileStore()
+        profile = _profile("cam", 2)
+        profile.add(
+            RetrainingEstimate(
+                config=RetrainingConfig(epochs=10),
+                post_retraining_accuracy=0.8,
+                gpu_seconds=42.0,
+                profiling_gpu_seconds=3.5,
+            )
+        )
+        store.put(profile)
+        store.put(_profile("other", 0))
+        payload = json.loads(json.dumps(store.as_dict()))
+        restored = ProfileStore.from_dict(payload)
+        assert len(restored) == 2
+        original = store.get("cam", 2)
+        round_tripped = restored.get("cam", 2)
+        assert round_tripped.start_accuracy == original.start_accuracy
+        assert set(round_tripped.estimates) == set(original.estimates)
+        for config, estimate in original.estimates.items():
+            twin = round_tripped.estimate_for(config)
+            assert twin.post_retraining_accuracy == estimate.post_retraining_accuracy
+            assert twin.gpu_seconds == estimate.gpu_seconds
+            assert twin.profiling_gpu_seconds == estimate.profiling_gpu_seconds
+
+    def test_from_dict_defaults_missing_profiling_cost_to_zero(self):
+        """Old testbed logs predate the profiling_gpu_seconds field."""
+        store = ProfileStore()
+        store.put(_profile("cam", 0))
+        payload = store.as_dict()
+        for entry in payload.values():
+            for estimate in entry["estimates"]:
+                del estimate["profiling_gpu_seconds"]
+        restored = ProfileStore.from_dict(payload)
+        for estimate in restored.get("cam", 0).estimates.values():
+            assert estimate.profiling_gpu_seconds == 0.0
+        assert restored.get("cam", 0).profiling_gpu_seconds == 0.0
+
+    def test_windows_for_sorted_regardless_of_put_order(self):
+        store = ProfileStore()
+        for window in (7, 0, 3, 12, 1):
+            store.put(_profile("cam", window))
+        store.put(_profile("decoy", 2))
+        assert store.windows_for("cam") == [0, 1, 3, 7, 12]
+        assert store.windows_for("decoy") == [2]
+        assert store.windows_for("unknown") == []
+
+    def test_history_for_matches_full_scan_reference(self):
+        """The per-stream index must not change history_for's output."""
+
+        def reference(store, stream_name, up_to_window):
+            sums = {}
+            for (name, window_index), profile in store._profiles.items():
+                if name != stream_name:
+                    continue
+                if up_to_window is not None and window_index >= up_to_window:
+                    continue
+                for config, estimate in profile.estimates.items():
+                    bucket = sums.setdefault(config, [0.0, 0.0, 0.0])
+                    bucket[0] += estimate.gpu_seconds
+                    bucket[1] += estimate.post_retraining_accuracy
+                    bucket[2] += 1.0
+            return {
+                config: (cost / count, accuracy / count)
+                for config, (cost, accuracy, count) in sums.items()
+                if count > 0
+            }
+
+        store = ProfileStore()
+        for stream in ("cam", "other", "third"):
+            for window in (0, 1, 4, 9):
+                store.put(_profile(stream, window, start=0.5 + 0.01 * window))
+        # Overwrite one entry, as repeated profiling of a window does.
+        store.put(_profile("cam", 1, start=0.9))
+        for stream in ("cam", "other", "missing"):
+            for up_to in (None, 0, 2, 100):
+                assert store.history_for(stream, up_to_window=up_to) == reference(
+                    store, stream, up_to
+                )
+
 
 class TestTable1Scenario:
     def test_scenario_matches_paper_numbers(self):
