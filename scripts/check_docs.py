@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Link-check the documentation tree so docs cannot rot silently.
+
+Scans ``README.md`` and ``docs/*.md`` for Markdown links and verifies that
+every *relative* link target exists on disk (anchors are stripped; external
+``http(s)``/``mailto`` links are out of scope — CI must not depend on the
+network).  Exits non-zero listing every broken link.
+
+Run from anywhere::
+
+    python scripts/check_docs.py
+
+The same checks run inside the tier-1 suite (``tests/unit/test_docs.py``)
+and as CI's ``docs`` job next to ``python -m doctest README.md``.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+from typing import List
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+#: Markdown inline links: ``[text](target)``.  Images (``![alt](target)``)
+#: match too, which is what we want.
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+#: Link schemes that are not files on disk.
+_EXTERNAL = ("http://", "https://", "mailto:")
+
+
+def documentation_files(root: Path = REPO_ROOT) -> List[Path]:
+    """The Markdown files under check: the README plus the docs tree."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def broken_links(path: Path) -> List[str]:
+    """Human-readable messages for every dangling relative link in ``path``."""
+    failures = []
+    text = path.read_text(encoding="utf-8")
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(_EXTERNAL) or target.startswith("#"):
+            continue
+        relative = target.split("#", 1)[0]
+        if not relative:
+            continue
+        resolved = (path.parent / relative).resolve()
+        if not resolved.exists():
+            line = text[: match.start()].count("\n") + 1
+            failures.append(
+                f"{path.relative_to(REPO_ROOT)}:{line}: broken link -> {target}"
+            )
+    return failures
+
+
+def main() -> int:
+    files = documentation_files()
+    if not files:
+        print("no documentation files found (expected README.md and docs/*.md)")
+        return 1
+    failures = []
+    for path in files:
+        failures.extend(broken_links(path))
+    if failures:
+        print("BROKEN DOCUMENTATION LINKS:")
+        for message in failures:
+            print(f"  {message}")
+        return 1
+    print(f"{len(files)} documentation files checked, all links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

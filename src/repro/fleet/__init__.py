@@ -18,14 +18,22 @@ Event hierarchy (priority order at equal timestamps, smaller fires first):
 2. :class:`ScenarioTrigger` — injected scenario events (flash crowd, site
    failure, WAN degradation).
 3. :class:`TransferArrival` — a migrating checkpoint + profile lands.
-4. :class:`ProfilePush` — a site's micro-profiled curves land in the
+4. :class:`RetrainingComplete` — one stream's in-flight retraining reaches
+   its absolute finish time (only scheduled by fleets built with
+   ``make_fleet(preemptive_sites=True)``).  After arrivals; before pushes
+   and control, so a same-instant rebalance sees the completed model.
+5. :class:`InferenceReconfigured` — a mid-window allocation change: GPUs
+   freed by a completed retraining flowed back to inference, or a
+   cancellation handed reclaimed capacity to surviving retrainings.
+6. :class:`ProfilePush` — a site's micro-profiled curves land in the
    fleet-wide :class:`~repro.profiles.fleet_store.FleetProfileStore` after
    crossing the site's WAN uplink (cross-site profile sharing; only
    scheduled by fleets built with ``make_fleet(profile_sharing=True)``).
    After arrivals so a same-instant checkpoint is observed first; before
    control ticks so same-instant admission already sees the pushed curves.
-5. :class:`ControlTick` — admission/rebalancing.
-6. :class:`WindowBoundary` — one site plans and executes its next window.
+7. :class:`ControlTick` — admission/rebalancing.
+8. :class:`WindowBoundary` — one site plans (and, for non-preemptive
+   fleets, atomically settles) its next window.
 
 Migrating from the shared-window-index API (PR 2)
 -------------------------------------------------
@@ -65,6 +73,17 @@ New capabilities, opted into explicitly:
   and warm-starts new/migrated streams from neighbours' curves — the
   first window profiles a ``max_configs``-pruned candidate set instead of
   the full grid, surfaced as ``profiling_gpu_seconds_saved`` in
+  :meth:`FleetResult.summary`.  ``make_fleet(...,
+  profile_decay_half_life=3600.0)`` additionally ages old pushes out of the
+  store so warm starts track the current drift regime.
+* **Event-driven site internals**: ``make_fleet(..., preemptive_sites=True)``
+  plans each window at its boundary and settles every stream's retraining
+  at its own :class:`RetrainingComplete` event, so a mid-window migration
+  or evacuation *cancels* the departing stream's in-flight retraining and
+  reclaims its remaining GPU-seconds for the site's other in-flight
+  retrainings (which finish earlier, marked by
+  :class:`InferenceReconfigured` events).  Surfaced as
+  ``retrainings_cancelled`` / ``reclaimed_gpu_seconds`` in
   :meth:`FleetResult.summary`.
 """
 
@@ -77,8 +96,10 @@ from .admission import (
 from .calendar import (
     ControlTick,
     EventCalendar,
+    InferenceReconfigured,
     MigrationStarted,
     ProfilePush,
+    RetrainingComplete,
     ScenarioTrigger,
     SimEvent,
     SiteRecovery,
@@ -119,8 +140,10 @@ __all__ = [
     "RandomAdmission",
     "ControlTick",
     "EventCalendar",
+    "InferenceReconfigured",
     "MigrationStarted",
     "ProfilePush",
+    "RetrainingComplete",
     "ScenarioTrigger",
     "SimEvent",
     "SiteRecovery",

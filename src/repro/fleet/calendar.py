@@ -23,6 +23,20 @@ Event hierarchy (all timestamped in absolute simulated seconds):
   finishes its WAN transfer.  Replaces PR 2's carryover-delay dict: the
   arrival is an absolute timestamp, so it can land mid-window and a window
   execution only pays the *remaining* transfer time.
+* :class:`RetrainingComplete` — one stream's in-flight retraining reaches
+  its absolute finish time (preemptive sites only: fleets built with
+  ``make_fleet(preemptive_sites=True)`` plan each window at its boundary
+  and settle every stream's retraining at its own completion event, so the
+  control plane can cancel a retraining mid-window).  After transfer
+  arrivals (a checkpoint landing at the same instant is observed first) and
+  before profile pushes and control ticks — a same-instant rebalance
+  already sees the completed model.
+* :class:`InferenceReconfigured` — a stream's inference serving path
+  changed allocation mid-window: the GPUs freed by a completed retraining
+  flowed back to its inference job, or a cancellation handed the freed
+  capacity to the site's surviving in-flight retrainings.  Scheduled at the
+  instant of the change, directly after the :class:`RetrainingComplete`
+  slot, so the trace reads completion → reconfiguration.
 * :class:`ProfilePush` — a site's micro-profiled curves land in the
   fleet-wide :class:`~repro.profiles.fleet_store.FleetProfileStore` after
   crossing the site's WAN uplink (cross-site profile sharing; scheduled
@@ -39,9 +53,10 @@ Event hierarchy (all timestamped in absolute simulated seconds):
   ``window_duration``.
 
 At equal timestamps the class priority above (smaller fires first) fixes the
-semantic order — restore, trigger, arrivals, pushes, control, windows — and the
-monotonically increasing sequence number makes ties within a priority fire
-in scheduling order, so event processing is deterministic across runs.
+semantic order — restore, trigger, arrivals, completions, reconfigurations,
+pushes, control, windows — and the monotonically increasing sequence number
+makes ties within a priority fire in scheduling order, so event processing
+is deterministic across runs.
 """
 
 from __future__ import annotations
@@ -126,6 +141,59 @@ class TransferArrival(SimEvent):
 
 
 @dataclass(frozen=True)
+class RetrainingComplete(SimEvent):
+    """One stream's in-flight retraining reaches its absolute finish time.
+
+    Scheduled by preemptive sites when a window is planned at its boundary:
+    each stream whose retraining fits the window gets one completion event
+    at ``boundary + retraining_duration``.  The handler settles the stream —
+    realises its window outcome and commits the retrained model to the
+    dynamics — at that instant instead of at the next boundary.  The event
+    is *stale* (a silent no-op) when the retraining was cancelled by a
+    migration or evacuation, or rescheduled earlier after a cancellation
+    reclaimed GPU capacity for it; the current expected completion time is
+    the one that fires.
+    """
+
+    priority: ClassVar[int] = 3
+    site: str = ""
+    stream: str = ""
+    window_index: int = 0
+
+    def describe(self) -> str:
+        return f"{super().describe()}  site={self.site} stream={self.stream}"
+
+
+@dataclass(frozen=True)
+class InferenceReconfigured(SimEvent):
+    """A stream's inference serving path changed allocation mid-window.
+
+    Two reasons, mirroring how Ekya re-runs its scheduler when a retraining
+    job leaves the GPU:
+
+    * ``"retraining_complete"`` — the stream's retraining finished and its
+      freed GPUs flowed back to the inference job (``inference_gpu`` is the
+      new post-retraining allocation, the Figure-4 model).
+    * ``"retraining_cancelled"`` — the stream migrated away mid-window and
+      its in-flight retraining was cancelled; the reclaimed capacity went to
+      the site's surviving in-flight retrainings (``inference_gpu`` is 0.0 —
+      the departed stream no longer serves at this site).
+    """
+
+    priority: ClassVar[int] = 4
+    site: str = ""
+    stream: str = ""
+    inference_gpu: float = 0.0
+    reason: str = "retraining_complete"
+
+    def describe(self) -> str:
+        return (
+            f"{super().describe()}  site={self.site} stream={self.stream} "
+            f"gpu={self.inference_gpu:.2f} ({self.reason})"
+        )
+
+
+@dataclass(frozen=True)
 class ProfilePush(SimEvent):
     """One site's profiled curves arrive at the fleet-wide profile store.
 
@@ -138,7 +206,7 @@ class ProfilePush(SimEvent):
     curves.
     """
 
-    priority: ClassVar[int] = 3
+    priority: ClassVar[int] = 5
     site: str = ""
     profiles: Tuple = ()
 
@@ -150,14 +218,14 @@ class ProfilePush(SimEvent):
 class ControlTick(SimEvent):
     """The fleet controller makes its admission/rebalancing decisions."""
 
-    priority: ClassVar[int] = 4
+    priority: ClassVar[int] = 6
 
 
 @dataclass(frozen=True)
 class WindowBoundary(SimEvent):
     """One site starts retraining window ``window_index`` at ``time``."""
 
-    priority: ClassVar[int] = 5
+    priority: ClassVar[int] = 7
     site: str = ""
     window_index: int = 0
 

@@ -14,6 +14,13 @@ scheduler keeps optimising its own window locally.  Responsibilities:
   their model checkpoint + profile.
 * **Failure handling** — a failed site's streams are force-evacuated to the
   survivors; a recovered site re-enters admission and rebalancing.
+* **Mid-window preemption** (``preemptive_sites=True``) — every migration
+  and evacuation notifies a *departure hook* the fleet simulator installs:
+  if the departing stream has an in-flight retraining at the source site,
+  it is cancelled at the current simulated instant and its remaining
+  GPU-seconds are reclaimed for the site's other in-flight retrainings.
+  With the flag off (the default) sites settle whole windows at their
+  boundary exactly as before, bit for bit.
 
 The controller shares one accuracy-dynamics substrate across all sites, so a
 migrated stream keeps its serving-model state — that is precisely what the
@@ -50,6 +57,7 @@ class FleetController:
         max_migrations_per_window: int = 4,
         stream_factory: Callable[..., VideoStream] = make_stream,
         profile_sharing: Optional["ProfileSharing"] = None,
+        preemptive_sites: bool = False,
         seed: int = 0,
     ) -> None:
         if not sites:
@@ -69,6 +77,8 @@ class FleetController:
         self._max_migrations = max_migrations_per_window
         self._stream_factory = stream_factory
         self._profile_sharing = profile_sharing
+        self._preemptive_sites = preemptive_sites
+        self._departure_hook: Optional[Callable[[str, str, str], None]] = None
         self._seed = seed
         self._stream_site: Dict[str, str] = {}
         self._next_index: Dict[str, int] = {}
@@ -104,6 +114,34 @@ class FleetController:
         present, so sharing is strictly opt-in.
         """
         return self._profile_sharing
+
+    @property
+    def preemptive_sites(self) -> bool:
+        """Whether sites run event-driven internals with mid-window preemption.
+
+        Set by :func:`~repro.fleet.factory.make_fleet` when built with
+        ``preemptive_sites=True``.  The :class:`~repro.fleet.simulator.
+        FleetSimulator` reads this flag: preemptive fleets plan each window
+        at its boundary, settle retrainings at per-stream
+        :class:`~repro.fleet.calendar.RetrainingComplete` events and cancel
+        in-flight retrainings when their stream departs mid-window.  Off by
+        default — the boundary-settled engine is reproduced bit for bit.
+        """
+        return self._preemptive_sites
+
+    def set_departure_hook(
+        self, hook: Optional[Callable[[str, str, str], None]]
+    ) -> None:
+        """Install the mid-window departure observer (the fleet simulator).
+
+        ``hook(stream_name, source_site, reason)`` is invoked for every
+        migration and evacuation, *after* the stream has moved, at the
+        instant the controlling event fires — which is what lets a
+        preemptive simulator cancel the departing stream's in-flight
+        retraining at the source site and reclaim its remaining
+        GPU-seconds.  Pass ``None`` to detach.
+        """
+        self._departure_hook = hook
 
     @property
     def homogeneous_windows(self) -> bool:
@@ -238,6 +276,8 @@ class FleetController:
             ),
             reason=reason,
         )
+        if self._departure_hook is not None:
+            self._departure_hook(stream_name, source.name, reason)
         return event
 
     def rebalance(self, window_index: int) -> List[MigrationEvent]:

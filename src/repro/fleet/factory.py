@@ -104,6 +104,8 @@ def make_fleet(
     clock: Optional[Clock] = None,
     profile_sharing: bool = False,
     profiling_settings: Optional[MicroProfilerSettings] = None,
+    profile_decay_half_life: Optional[float] = None,
+    preemptive_sites: bool = False,
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -138,6 +140,23 @@ def make_fleet(
     settings object is used verbatim — set its ``max_configs`` *below* the
     retraining-grid size (12 here), or warm starts prune nothing and the
     saved-profiling metric stays 0.
+
+    ``profile_decay_half_life`` (seconds; requires ``profile_sharing=True``)
+    ages pushed curves out of the fleet store: every push decays the key's
+    existing aggregate by ``0.5 ** (elapsed / half_life)`` before merging,
+    so warm starts track the *current* drift regime instead of averaging
+    over every window ever profiled.  ``None`` (default) keeps every push
+    at weight 1.0 forever — the pre-decay behaviour, bit for bit.
+
+    ``preemptive_sites`` turns on event-driven site internals: each window
+    is planned at its boundary and every stream's retraining completion
+    becomes its own :class:`~repro.fleet.calendar.RetrainingComplete` event,
+    so a mid-window migration or evacuation cancels the departing stream's
+    in-flight retraining, reclaims its remaining GPU-seconds for the site's
+    other in-flight retrainings, and the cancellation shows up in
+    ``FleetResult.summary()`` (``retrainings_cancelled`` /
+    ``reclaimed_gpu_seconds``).  Off by default — the boundary-settled
+    engine is reproduced bit for bit.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -155,10 +174,15 @@ def make_fleet(
             "profiling_settings only tunes the shared profile source; "
             "pass profile_sharing=True (or drop the settings)"
         )
+    if profile_decay_half_life is not None and not profile_sharing:
+        raise FleetError(
+            "profile_decay_half_life only ages the fleet profile store; "
+            "pass profile_sharing=True (or drop the half-life)"
+        )
     dynamics = AnalyticDynamics(seed=seed)
     sharing: Optional[ProfileSharing] = None
     if profile_sharing:
-        fleet_store = FleetProfileStore()
+        fleet_store = FleetProfileStore(decay_half_life=profile_decay_half_life)
         settings = profiling_settings or MicroProfilerSettings(
             max_configs=DEFAULT_SHARED_MAX_CONFIGS
         )
@@ -211,6 +235,7 @@ def make_fleet(
         overload_factor=overload_factor,
         max_migrations_per_window=max_migrations_per_window,
         profile_sharing=sharing,
+        preemptive_sites=preemptive_sites,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

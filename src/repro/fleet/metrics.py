@@ -89,6 +89,12 @@ class SiteWindowStats:
     #: GPU-seconds of micro-profiling the fleet profile store saved this
     #: window by warm-starting streams from neighbours' curves.
     profiling_gpu_seconds_saved: float = 0.0
+    #: In-flight retrainings cancelled mid-window because their stream
+    #: migrated or was evacuated away (preemptive sites only; 0 otherwise).
+    retrainings_cancelled: int = 0
+    #: GPU-seconds of cancelled retrainings' remaining work reclaimed for
+    #: the site's other in-flight retrainings (preemptive sites only).
+    reclaimed_gpu_seconds: float = 0.0
 
 
 @dataclass
@@ -144,6 +150,18 @@ class FleetWindowResult:
         """Fleet-wide profiling GPU-seconds saved by warm starts this window."""
         return float(
             sum(stats.profiling_gpu_seconds_saved for stats in self.site_stats.values())
+        )
+
+    @property
+    def retrainings_cancelled(self) -> int:
+        """In-flight retrainings cancelled mid-window across the fleet."""
+        return sum(stats.retrainings_cancelled for stats in self.site_stats.values())
+
+    @property
+    def reclaimed_gpu_seconds(self) -> float:
+        """GPU-seconds reclaimed from cancelled retrainings this window."""
+        return float(
+            sum(stats.reclaimed_gpu_seconds for stats in self.site_stats.values())
         )
 
 
@@ -230,9 +248,25 @@ class FleetResult:
         """GPU-seconds of profiling the fleet store's warm starts saved."""
         return float(sum(w.profiling_gpu_seconds_saved for w in self.windows))
 
+    # ----------------------------------------------------------- preemption
+    @property
+    def retrainings_cancelled(self) -> int:
+        """In-flight retrainings cancelled mid-window over the whole run."""
+        return sum(w.retrainings_cancelled for w in self.windows)
+
+    @property
+    def reclaimed_gpu_seconds(self) -> float:
+        """GPU-seconds reclaimed from cancelled retrainings over the run."""
+        return float(sum(w.reclaimed_gpu_seconds for w in self.windows))
+
     # -------------------------------------------------------------- export
     def summary(self) -> Dict[str, object]:
-        """Flat JSON-friendly summary (benchmark trajectories, examples)."""
+        """Flat JSON-friendly summary (benchmark trajectories, examples).
+
+        Every key is documented in the metrics appendix of
+        ``docs/events.md``; ``tests/unit/test_fleet.py`` asserts the exact
+        key set so documentation and code cannot drift apart.
+        """
         utilization = self.mean_utilization_by_site
         return {
             "admission_policy": self.admission_policy,
@@ -248,5 +282,7 @@ class FleetResult:
             "mean_allocation_loss": self.mean_allocation_loss,
             "profiling_gpu_seconds": self.total_profiling_gpu_seconds,
             "profiling_gpu_seconds_saved": self.profiling_gpu_seconds_saved,
+            "retrainings_cancelled": self.retrainings_cancelled,
+            "reclaimed_gpu_seconds": self.reclaimed_gpu_seconds,
             "wall_clock_seconds": self.wall_clock_seconds,
         }

@@ -23,6 +23,15 @@ dispatched to one handler each:
   profile store (cross-site profile sharing; scheduled only for fleets
   built with ``make_fleet(profile_sharing=True)``).  The arrival paid the
   source site's uplink, so degraded sites contribute stale curves.
+* ``RetrainingComplete`` / ``InferenceReconfigured`` — event-driven site
+  internals (fleets built with ``make_fleet(preemptive_sites=True)``): a
+  window is *planned* at its boundary, each stream's retraining completion
+  becomes its own calendar event at the absolute finish time, and the
+  settle phase runs per stream — at its completion, at the window end, or
+  early as a cancellation when a mid-window migration/evacuation preempts
+  an in-flight retraining and reclaims its remaining GPU-seconds for the
+  site's other in-flight retrainings (which then finish earlier).  Off by
+  default; the boundary-settled engine is reproduced bit for bit.
 * ``ControlTick`` — the controller rebalances.  Ticks coincide with window
   boundaries by default (the PR-2 cadence); pass ``control_interval`` to
   run the control plane on its own cadence, decoupled from windows.
@@ -50,17 +59,21 @@ field for field across runs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..exceptions import FleetError
 from ..profiles.fleet_store import stream_profile_key
+from ..simulation.simulator import StreamWindowOutcome, WindowPlan
 from ..utils.clock import Clock, Stopwatch
 from ..utils.math_utils import safe_mean
 from .calendar import (
     ControlTick,
     EventCalendar,
+    InferenceReconfigured,
     MigrationStarted,
     ProfilePush,
+    RetrainingComplete,
     ScenarioTrigger,
     SimEvent,
     SiteRecovery,
@@ -79,6 +92,50 @@ from .metrics import (
 from .migration import MigrationEvent
 from .scenarios import FlashCrowd, Scenario, SiteFailure, WanDegradation
 from .site import EdgeSite
+
+
+@dataclass
+class _OpenSiteWindow:
+    """Bookkeeping for one preemptive site window between plan and settle.
+
+    Created at the site's :class:`~repro.fleet.calendar.WindowBoundary`
+    (plan phase) and closed when the window fully settles — at its end, or
+    stream by stream as :class:`~repro.fleet.calendar.RetrainingComplete`
+    events fire and departures cancel in-flight retrainings.  ``expected``
+    maps each in-flight stream to the absolute completion time currently on
+    the calendar; a popped completion event fires only while its timestamp
+    still matches, which is what makes cancelled or rescheduled events
+    stale without removing them from the heap.
+    """
+
+    site: str
+    window_index: int
+    start: float
+    end: float
+    plan: WindowPlan
+    cycle: FleetWindowResult
+    #: ``(profiling_gpu_seconds, profiling_gpu_seconds_saved)`` accounted at
+    #: the boundary (profiles are produced during planning).
+    profiling: Tuple[float, float]
+    #: Migration events charged to each planned stream, popped at plan time
+    #: exactly like the boundary-settled engine attributes them.
+    migrations_stash: Dict[str, Tuple[MigrationEvent, ...]]
+    #: Absolute completion time per in-flight retraining.
+    expected: Dict[str, float] = field(default_factory=dict)
+    #: Current retraining GPU allocation per in-flight retraining.
+    alloc: Dict[str, float] = field(default_factory=dict)
+    #: Absolute time before which each in-flight retraining burns no GPU
+    #: (a migrated-in stream waits for its WAN transfer first).  Reclaim
+    #: and acceleration count only work past this point.
+    ready: Dict[str, float] = field(default_factory=dict)
+    #: In-flight streams whose completion is allocation-driven; a fixed
+    #: external completion (cloud offload) cannot be accelerated.
+    accelerable: set = field(default_factory=set)
+    #: Realised completion offsets (seconds into the window) for streams
+    #: whose retraining was accelerated by reclaimed capacity.
+    overrides: Dict[str, float] = field(default_factory=dict)
+    retrainings_cancelled: int = 0
+    reclaimed_gpu_seconds: float = 0.0
 
 
 class FleetSimulator:
@@ -122,6 +179,14 @@ class FleetSimulator:
         self._clock = clock
         self._control_interval = control_interval
         self._record_events = record_events
+        #: Event-driven site internals: plan windows at their boundary,
+        #: settle retrainings at per-stream RetrainingComplete events and
+        #: cancel in-flight retrainings when their stream departs.
+        self._preemptive = controller.preemptive_sites
+        #: Open (planned, not fully settled) window per preemptive site.
+        self._open_windows: Dict[str, _OpenSiteWindow] = {}
+        if self._preemptive:
+            controller.set_departure_hook(self._on_stream_departure)
         self._scenario.validate(
             [site.name for site in controller.sites],
             require_time_indexed=not controller.homogeneous_windows,
@@ -341,7 +406,15 @@ class FleetSimulator:
             self._calendar.schedule(ControlTick(time=time))
 
     def _advance_until(self, t_end: float) -> None:
-        """Pop and dispatch every event strictly before ``t_end``."""
+        """Pop and dispatch every event strictly before ``t_end``.
+
+        Preemptive fleets additionally settle every open site window whose
+        end lies at or before ``t_end`` once the events are drained: the
+        boundary event *at* a window's end is not popped (it belongs to the
+        next advance), but the window it closes is complete — all its
+        completion events fired strictly before the end — so its remaining
+        streams settle now and the returned results are final.
+        """
         calendar = self._calendar
         while calendar:
             time = calendar.peek_time()
@@ -353,6 +426,10 @@ class FleetSimulator:
             if self._record_events:
                 self._event_trace.append(event)
             self._dispatch(event)
+        if self._preemptive:
+            for name in sorted(self._open_windows):
+                if self._open_windows[name].end <= t_end:
+                    self._settle_open_window(name)
 
     def _open_cycle(self, time: float) -> None:
         if self._current is not None:
@@ -379,6 +456,13 @@ class FleetSimulator:
             self._on_control_tick(event)
         elif isinstance(event, ProfilePush):
             self._on_profile_push(event)
+        elif isinstance(event, RetrainingComplete):
+            self._on_retraining_complete(event)
+        elif isinstance(event, InferenceReconfigured):
+            # Pure trace marker: the allocation change it records was applied
+            # when it was scheduled (completion settle / cancellation); the
+            # event exists so the timeline is observable on the calendar.
+            pass
         elif isinstance(event, TransferArrival):
             self._on_transfer_arrival(event)
         elif isinstance(event, ScenarioTrigger):
@@ -450,18 +534,25 @@ class FleetSimulator:
         if sharing is None:  # pragma: no cover - pushes imply sharing is wired
             return
         for key, profile in event.profiles:
-            sharing.store.push(key, profile)
+            sharing.store.push(key, profile, at_seconds=event.time)
 
     def _on_window_boundary(self, boundary: WindowBoundary) -> None:
         controller = self._controller
         site = controller.site(boundary.site)
         cycle = self._require_cycle()
         duration = site.spec.window_duration
+        if self._preemptive:
+            # The previous window must be fully settled (its dynamics
+            # committed) before the next one queries them.
+            self._settle_open_window(site.name)
         self._schedule_boundary(site, boundary.window_index + 1)
         if not site.healthy:
             cycle.failed_sites.append(site.name)
             return
         delays = self._charge_transfers(site, boundary.time, duration)
+        if self._preemptive:
+            self._plan_site_window(site, boundary, cycle, delays)
+            return
         window_result = site.run_window(boundary.window_index, retraining_delays=delays)
         if window_result is None:
             return
@@ -488,6 +579,230 @@ class FleetSimulator:
                 outcome=outcome,
                 migrations=tuple(self._migrated_into.pop(name, ())),
             )
+
+    # ------------------------------------------------- preemptive internals
+    def _plan_site_window(
+        self,
+        site: EdgeSite,
+        boundary: WindowBoundary,
+        cycle: FleetWindowResult,
+        delays: Optional[Dict[str, float]],
+    ) -> None:
+        """Plan phase of a preemptive window: schedule, then per-stream events.
+
+        The site's scheduler runs exactly as at a boundary-settled window,
+        but nothing is realised yet: each stream whose retraining fits the
+        window gets a :class:`~repro.fleet.calendar.RetrainingComplete`
+        event at its absolute finish time, and the settle phase runs stream
+        by stream as those events fire (or early, when a departure cancels).
+        Migration attribution is popped here — the same instant the
+        boundary-settled engine pops it — so both engines charge WAN hops
+        to the same window.
+        """
+        plan = site.plan_window(boundary.window_index, retraining_delays=delays)
+        if plan is None:
+            return
+        profiling = self._share_profiles(site, boundary)
+        open_window = _OpenSiteWindow(
+            site=site.name,
+            window_index=boundary.window_index,
+            start=boundary.time,
+            # Multiplied from the origin — the *same float* as the next
+            # boundary and as run_window's t_end.  An accumulated
+            # ``boundary.time + duration`` can drift one ulp above it for
+            # non-dyadic durations, and the flush's ``end <= t_end`` check
+            # would then skip settling the final window (the same hazard
+            # _site_window_time documents for boundary times).
+            end=self._site_window_time(site, boundary.window_index + 1),
+            plan=plan,
+            cycle=cycle,
+            profiling=profiling,
+            migrations_stash={
+                name: tuple(self._migrated_into.pop(name, ())) for name in plan.streams
+            },
+        )
+        for name, offset in plan.completion_offsets().items():
+            completion = boundary.time + offset
+            planned = plan.streams[name]
+            open_window.expected[name] = completion
+            open_window.alloc[name] = planned.decision.retraining_gpu
+            open_window.ready[name] = boundary.time + planned.retraining_start_offset
+            if planned.allocation_driven:
+                open_window.accelerable.add(name)
+            self._calendar.schedule(
+                RetrainingComplete(
+                    time=completion,
+                    site=site.name,
+                    stream=name,
+                    window_index=boundary.window_index,
+                )
+            )
+        self._open_windows[site.name] = open_window
+
+    def _on_retraining_complete(self, event: RetrainingComplete) -> None:
+        """One stream's retraining finished: settle it at this very instant.
+
+        Stale events — the window already closed, the retraining was
+        cancelled, or a cancellation's reclaimed capacity rescheduled the
+        completion earlier — are silent no-ops: only an event whose
+        timestamp matches the stream's current expected completion fires.
+        """
+        open_window = self._open_windows.get(event.site)
+        if open_window is None or open_window.window_index != event.window_index:
+            return
+        if open_window.expected.get(event.stream) != event.time:
+            return
+        del open_window.expected[event.stream]
+        open_window.ready.pop(event.stream, None)
+        open_window.accelerable.discard(event.stream)
+        # The allocation the retraining actually ran at — the planned one
+        # plus any capacity reclaimed from cancelled neighbours.
+        retraining_gpu = open_window.alloc.pop(event.stream)
+        override = open_window.overrides.pop(event.stream, None)
+        site = self._controller.site(event.site)
+        outcome = site.settle_stream(
+            open_window.plan, event.stream, completion_offset=override
+        )
+        self._record_settled(open_window, event.stream, outcome)
+        decision = open_window.plan.streams[event.stream].decision
+        # Ekya's reaction to a finished retraining job: its GPUs flow back
+        # to the stream's inference job (the estimator's Figure-4 model).
+        self._calendar.schedule(
+            InferenceReconfigured(
+                time=event.time,
+                site=event.site,
+                stream=event.stream,
+                inference_gpu=decision.inference_gpu + retraining_gpu,
+                reason="retraining_complete",
+            )
+        )
+
+    def _on_stream_departure(self, stream: str, source: str, reason: str) -> None:
+        """A stream migrated or was evacuated away: preempt its retraining.
+
+        Installed as the controller's departure hook on preemptive fleets.
+        If the stream has an in-flight retraining at the source site, it is
+        cancelled at the current instant: the stream settles with no
+        retraining benefit, the remaining GPU-seconds are reclaimed, and the
+        freed allocation is split evenly across the site's surviving
+        in-flight retrainings — each finishes earlier, its stale completion
+        event superseded by a rescheduled one.  Idempotent: a stream with no
+        in-flight retraining (none planned, already completed, or already
+        cancelled by an earlier hop) is a no-op.
+        """
+        open_window = self._open_windows.get(source)
+        if open_window is None:
+            return
+        expected = open_window.expected.pop(stream, None)
+        if expected is None:
+            return
+        now = self._calendar.now
+        alloc = open_window.alloc.pop(stream)
+        ready = open_window.ready.pop(stream, now)
+        open_window.accelerable.discard(stream)
+        open_window.overrides.pop(stream, None)
+        # Reclaim only GPU work still to *burn*: a WAN-delayed retraining is
+        # idle until its checkpoint arrives (``ready``), so the waiting
+        # portion of its wall-clock time-to-completion is not work.
+        remaining = max(0.0, expected - max(now, ready))
+        reclaimed = remaining * alloc
+        open_window.retrainings_cancelled += 1
+        open_window.reclaimed_gpu_seconds += reclaimed
+        site = self._controller.site(source)
+        outcome = site.settle_stream(open_window.plan, stream, cancelled=True)
+        self._record_settled(open_window, stream, outcome)
+        self._calendar.schedule(
+            InferenceReconfigured(
+                time=now,
+                site=source,
+                stream=stream,
+                inference_gpu=0.0,
+                reason="retraining_cancelled",
+            )
+        )
+        # Only allocation-driven retrainings can absorb the freed capacity;
+        # a fixed external completion (cloud offload) is not accelerable.
+        beneficiaries = sorted(
+            name
+            for name, completion in open_window.expected.items()
+            if completion > now and name in open_window.accelerable
+        )
+        if reclaimed <= 0 or not beneficiaries:
+            return
+        share = alloc / len(beneficiaries)
+        for name in beneficiaries:
+            # The job runs only past max(now, ready): remaining work is the
+            # burn from there, and the accelerated completion can never land
+            # before the checkpoint the retraining is waiting on.
+            effective_start = max(now, open_window.ready.get(name, now))
+            remaining_work = (
+                open_window.expected[name] - effective_start
+            ) * open_window.alloc[name]
+            new_alloc = open_window.alloc[name] + share
+            new_completion = effective_start + remaining_work / new_alloc
+            open_window.alloc[name] = new_alloc
+            open_window.expected[name] = new_completion
+            open_window.overrides[name] = new_completion - open_window.start
+            self._calendar.schedule(
+                RetrainingComplete(
+                    time=new_completion,
+                    site=source,
+                    stream=name,
+                    window_index=open_window.window_index,
+                )
+            )
+
+    def _record_settled(
+        self, open_window: _OpenSiteWindow, name: str, outcome: StreamWindowOutcome
+    ) -> None:
+        open_window.cycle.stream_outcomes[name] = FleetStreamOutcome(
+            stream_name=name,
+            site=open_window.site,
+            outcome=outcome,
+            migrations=open_window.migrations_stash.pop(name, ()),
+        )
+
+    def _settle_open_window(self, site_name: str) -> None:
+        """Settle phase of a preemptive window: close out whatever remains.
+
+        Streams whose retraining completed (or was cancelled) are already
+        settled; everything else — no retraining planned, or one that never
+        fit the window — settles with its planned estimate.  Site results
+        and stats land in the cycle the window was planned in.
+        """
+        open_window = self._open_windows.pop(site_name, None)
+        if open_window is None:
+            return
+        site = self._controller.site(site_name)
+        plan = open_window.plan
+        for name in plan.pending_streams():
+            outcome = site.settle_stream(
+                plan, name, completion_offset=open_window.overrides.pop(name, None)
+            )
+            self._record_settled(open_window, name, outcome)
+        open_window.expected.clear()
+        open_window.alloc.clear()
+        open_window.ready.clear()
+        open_window.accelerable.clear()
+        result = plan.result
+        cost, saved = open_window.profiling
+        open_window.cycle.site_results[site_name] = result
+        open_window.cycle.site_stats[site_name] = SiteWindowStats(
+            site=site_name,
+            num_streams=len(plan.streams),
+            utilization=gpu_utilization(
+                result.schedule.total_gpu_allocated, site.spec.num_gpus
+            ),
+            allocation_loss=result.allocation_loss,
+            mean_accuracy=safe_mean(
+                [o.realized_average_accuracy for o in result.outcomes.values()]
+            ),
+            scheduler_runtime_seconds=result.schedule.scheduler_runtime_seconds,
+            profiling_gpu_seconds=cost,
+            profiling_gpu_seconds_saved=saved,
+            retrainings_cancelled=open_window.retrainings_cancelled,
+            reclaimed_gpu_seconds=open_window.reclaimed_gpu_seconds,
+        )
 
     # ------------------------------------------------------- profile sharing
     def _share_profiles(self, site: EdgeSite, boundary: WindowBoundary):

@@ -26,7 +26,7 @@ from ..core.policy import WindowPolicy
 from ..datasets.stream import VideoStream
 from ..exceptions import FleetError
 from ..profiles.dynamics import StreamDynamics
-from ..simulation.simulator import Simulator, WindowResult
+from ..simulation.simulator import Simulator, StreamWindowOutcome, WindowPlan, WindowResult
 
 
 @dataclass(frozen=True)
@@ -171,6 +171,54 @@ class EdgeSite:
             retraining_delays=retraining_delays,
             window_start_seconds=window_start_seconds,
             retraining_ready_at=retraining_ready_at,
+        )
+
+    def plan_window(
+        self,
+        window_index: int,
+        *,
+        retraining_delays: Optional[Mapping[str, float]] = None,
+        window_start_seconds: Optional[float] = None,
+        retraining_ready_at: Optional[Mapping[str, float]] = None,
+    ) -> Optional[WindowPlan]:
+        """Plan one window without settling it; ``None`` if idle or failed.
+
+        The preemptive half of :meth:`run_window`: the fleet's event loop
+        turns the returned plan's per-stream completion offsets into
+        :class:`~repro.fleet.calendar.RetrainingComplete` events and settles
+        each stream — possibly early, rescheduled, or cancelled — through
+        :meth:`settle_stream` / :meth:`settle_window`.
+        """
+        if not self.healthy or self._server.num_streams == 0:
+            return None
+        return self._simulator.plan_window(
+            window_index,
+            retraining_delays=retraining_delays,
+            window_start_seconds=window_start_seconds,
+            retraining_ready_at=retraining_ready_at,
+        )
+
+    def settle_stream(
+        self,
+        plan: WindowPlan,
+        stream_name: str,
+        *,
+        completion_offset: Optional[float] = None,
+        cancelled: bool = False,
+    ) -> StreamWindowOutcome:
+        """Settle one planned stream (see :meth:`Simulator.settle_stream`).
+
+        The fleet's preemptive event loop settles stream by stream — at
+        completion events, at cancellations, and for the remainder when the
+        window ends — so this per-stream form is the only settle surface a
+        site exposes; whole-window settling stays on the single-server
+        :meth:`~repro.simulation.simulator.Simulator.settle_window`.
+        """
+        return self._simulator.settle_stream(
+            plan,
+            stream_name,
+            completion_offset=completion_offset,
+            cancelled=cancelled,
         )
 
     # --------------------------------------------------------------- health

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Tuple
 
 from ..configs.retraining import RetrainingConfig
+from ..exceptions import ProfilingError
 from ..datasets.drift import DriftProfile
 from ..datasets.stream import VideoStream
 from ..utils.serialization import to_jsonable
@@ -71,16 +72,54 @@ class FleetProfileStore:
     observed ``(gpu_seconds, post_retraining_accuracy)`` over every pushed
     profile — the fleet-wide analogue of
     :meth:`~repro.profiles.store.ProfileStore.history_for`.
+
+    ``decay_half_life`` (seconds) ages old pushes out: each push decays the
+    key's existing weighted sums by ``0.5 ** (elapsed / half_life)`` —
+    elapsed being the arrival-time gap to the key's previous push — before
+    merging at weight 1.0, so curves profiled under an old drift regime stop
+    dominating the mean once the regime has moved on.  The decayed *count*
+    keeps ``curves_for`` an exact weighted mean.  ``None`` (the default)
+    never decays: every push keeps weight 1.0 forever, which is the
+    pre-decay behaviour and serialisation bit for bit.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, *, decay_half_life: Optional[float] = None) -> None:
+        if decay_half_life is not None and decay_half_life <= 0:
+            raise ProfilingError("decay_half_life must be positive (or None)")
+        self._decay_half_life = decay_half_life
         self._sums: Dict[ProfileKey, Dict[RetrainingConfig, List[float]]] = {}
         self._pushes: Dict[ProfileKey, int] = {}
+        #: Arrival time of each key's latest push (tracked only with decay).
+        self._last_push_at: Dict[ProfileKey, float] = {}
+
+    @property
+    def decay_half_life(self) -> Optional[float]:
+        return self._decay_half_life
 
     # ------------------------------------------------------------------ push
-    def push(self, key: ProfileKey, profile: StreamWindowProfile) -> None:
-        """Merge one site's profiled window into the key's aggregate curves."""
+    def push(
+        self, key: ProfileKey, profile: StreamWindowProfile, *, at_seconds: float = 0.0
+    ) -> None:
+        """Merge one site's profiled window into the key's aggregate curves.
+
+        ``at_seconds`` is the push's arrival time on the fleet's simulated
+        clock (the :class:`~repro.fleet.calendar.ProfilePush` event time);
+        it only matters when the store was built with a ``decay_half_life``.
+        Out-of-order arrivals never *inflate* old curves: elapsed time is
+        clamped at zero, so a late-arriving push decays nothing.
+        """
         curves = self._sums.setdefault(key, {})
+        if self._decay_half_life is not None:
+            last = self._last_push_at.get(key)
+            if last is not None:
+                elapsed = max(0.0, at_seconds - last)
+                if elapsed > 0.0:
+                    factor = 0.5 ** (elapsed / self._decay_half_life)
+                    for bucket in curves.values():
+                        bucket[0] *= factor
+                        bucket[1] *= factor
+                        bucket[2] *= factor
+            self._last_push_at[key] = max(at_seconds, last) if last is not None else at_seconds
         for config, estimate in profile.estimates.items():
             bucket = curves.setdefault(config, [0.0, 0.0, 0.0])
             bucket[0] += estimate.gpu_seconds
@@ -138,9 +177,14 @@ class FleetProfileStore:
     # --------------------------------------------------------------- export
     def as_dict(self) -> Dict:
         payload = {}
+        # Decaying stores persist their half-life under a reserved key so a
+        # plain round-trip keeps decaying; default stores omit it and the
+        # payload stays byte-identical to the pre-decay format.
+        if self._decay_half_life is not None:
+            payload["_meta"] = {"decay_half_life": self._decay_half_life}
         for key in self.keys():
             dataset, regime = key
-            payload[f"{dataset}|{regime}"] = {
+            entry = {
                 "dataset": dataset,
                 "regime": regime,
                 "pushes": self._pushes.get(key, 0),
@@ -154,14 +198,34 @@ class FleetProfileStore:
                     for config, sums in self._sums[key].items()
                 ],
             }
+            # Only decaying stores track arrival times; omitting the field
+            # otherwise keeps the pre-decay payload shape byte-identical.
+            if key in self._last_push_at:
+                entry["last_push_at"] = self._last_push_at[key]
+            payload[f"{dataset}|{regime}"] = entry
         return to_jsonable(payload)
 
     @classmethod
-    def from_dict(cls, payload: Dict) -> "FleetProfileStore":
-        store = cls()
-        for entry in payload.values():
+    def from_dict(
+        cls, payload: Dict, *, decay_half_life: Optional[float] = None
+    ) -> "FleetProfileStore":
+        """Rebuild a store from :meth:`as_dict` output.
+
+        The half-life round-trips through the payload's ``_meta`` entry; an
+        explicit ``decay_half_life`` argument overrides it (e.g. to start
+        decaying a store that was recorded without decay).
+        """
+        meta = payload.get("_meta", {})
+        if decay_half_life is None:
+            decay_half_life = meta.get("decay_half_life")
+        store = cls(decay_half_life=decay_half_life)
+        for name, entry in payload.items():
+            if name == "_meta":
+                continue
             key = (entry["dataset"], entry["regime"])
             store._pushes[key] = int(entry["pushes"])
+            if "last_push_at" in entry:
+                store._last_push_at[key] = float(entry["last_push_at"])
             curves = store._sums.setdefault(key, {})
             for item in entry["curves"]:
                 curves[RetrainingConfig.from_dict(item["config"])] = [

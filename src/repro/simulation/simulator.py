@@ -18,9 +18,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Tuple
 
-from ..cluster.edge_server import EdgeServer, EdgeServerSpec
+from ..cluster.edge_server import EdgeServer
 from ..cluster.placement import place_jobs
-from ..core.estimator import estimate_stream_average_accuracy
+from ..core.estimator import AccuracyEstimate, estimate_stream_average_accuracy
 from ..core.policy import WindowPolicy
 from ..core.types import StreamDecision, WindowSchedule
 from ..datasets.stream import VideoStream
@@ -89,6 +89,79 @@ class WindowResult:
     @property
     def num_retrained(self) -> int:
         return sum(1 for o in self.outcomes.values() if o.retraining_completed)
+
+
+@dataclass
+class PlannedStream:
+    """One stream's share of a planned-but-not-yet-settled window.
+
+    Captures everything :meth:`Simulator.settle_stream` needs to realise the
+    stream's outcome later — the scheduler's decision, the dynamics' answers
+    for this window (queried once, at plan time) and the planned
+    :class:`~repro.core.estimator.AccuracyEstimate`.  The live
+    :class:`~repro.datasets.stream.VideoStream` is kept so the dynamics can
+    be committed even after the stream has detached from the site (a
+    mid-window migration must still settle the window it left behind).
+    """
+
+    stream: VideoStream
+    decision: StreamDecision
+    start_accuracy: float
+    post_retraining_accuracy: Optional[float]
+    #: Retraining cost at 100 % GPU allocation (0.0 when not retraining).
+    retraining_gpu_seconds: float
+    #: Planned estimate; settle reuses it verbatim unless overridden.
+    estimate: AccuracyEstimate
+    #: Seconds into the window before which the retraining cannot start and
+    #: burns no GPU (the WAN transfer delay of a migrated-in stream; 0.0
+    #: for a retraining that starts at the boundary).  Preemption accounting
+    #: must not count this idle wait as reclaimable work, and an accelerated
+    #: completion can never land before it.
+    retraining_start_offset: float = 0.0
+    #: False when the completion time is fixed externally (cloud-offloaded
+    #: retraining): extra GPU allocation cannot accelerate such a job.
+    allocation_driven: bool = True
+
+
+@dataclass
+class WindowPlan:
+    """The plan phase of one retraining window, before anything is realised.
+
+    Produced by :meth:`Simulator.plan_window`: the schedule is computed, the
+    placement verified and every stream's accuracy estimate derived — but no
+    outcome is realised and the dynamics are untouched, so the settle phase
+    can be invoked per stream at its own (possibly early) completion time,
+    or cancelled outright.  ``result`` is the incrementally filled
+    :class:`WindowResult`; a stream is *settled* once its outcome is in
+    ``result.outcomes``.
+    """
+
+    window_index: int
+    window_seconds: float
+    schedule: WindowSchedule
+    result: WindowResult
+    streams: Dict[str, PlannedStream] = field(default_factory=dict)
+
+    def completion_offsets(self) -> Dict[str, float]:
+        """Seconds into the window at which each retraining completes.
+
+        Only streams whose planned retraining finishes inside the window
+        appear; the offset is the planned
+        :attr:`~repro.core.estimator.AccuracyEstimate.retraining_duration`
+        (start delays from WAN transfers already included).
+        """
+        return {
+            name: planned.estimate.retraining_duration
+            for name, planned in self.streams.items()
+            if planned.estimate.retraining_completes
+        }
+
+    def settled(self, stream_name: str) -> bool:
+        return stream_name in self.result.outcomes
+
+    def pending_streams(self) -> List[str]:
+        """Planned streams not yet settled, in plan order."""
+        return [name for name in self.streams if name not in self.result.outcomes]
 
 
 @dataclass
@@ -208,7 +281,11 @@ class Simulator:
         window_start_seconds: Optional[float] = None,
         retraining_ready_at: Optional[Mapping[str, float]] = None,
     ) -> WindowResult:
-        """Plan and execute a single retraining window.
+        """Plan and settle a single retraining window atomically.
+
+        Equivalent to :meth:`plan_window` immediately followed by
+        :meth:`settle_window` — the whole-window path every non-preemptive
+        caller uses, bit-identical to the pre-split implementation.
 
         ``retraining_delays`` maps stream names to seconds their retraining
         cannot start into the window (the fleet layer uses this for the WAN
@@ -225,6 +302,35 @@ class Simulator:
         retraining by only the remaining ``ready - window_start`` seconds;
         one at or before the window start costs nothing.  Both forms may be
         given; a stream's delays add up.
+        """
+        return self.settle_window(
+            self.plan_window(
+                window_index,
+                retraining_delays=retraining_delays,
+                window_start_seconds=window_start_seconds,
+                retraining_ready_at=retraining_ready_at,
+            )
+        )
+
+    def plan_window(
+        self,
+        window_index: int,
+        *,
+        retraining_delays: Optional[Mapping[str, float]] = None,
+        window_start_seconds: Optional[float] = None,
+        retraining_ready_at: Optional[Mapping[str, float]] = None,
+    ) -> WindowPlan:
+        """Plan one window without realising any outcome.
+
+        Runs the policy, verifies placement, queries the dynamics once per
+        stream and derives each stream's planned accuracy estimate — whose
+        ``retraining_duration`` is the per-stream completion time the fleet
+        layer turns into :class:`~repro.fleet.calendar.RetrainingComplete`
+        events.  The dynamics are *not* committed: that happens per stream
+        in :meth:`settle_stream`, which may fire early (at the completion
+        event), with a new completion time (reclaimed capacity accelerated
+        the retraining) or as a cancellation (the stream migrated away).
+        Delay parameters are shared with :meth:`run_window`.
         """
         spec = self._server.spec
         streams = self._server.streams
@@ -248,71 +354,142 @@ class Simulator:
             placement = place_jobs(schedule.allocation_map(), self._server.fleet)
             allocation_loss = placement.allocation_loss()
 
-        window_result = WindowResult(
-            window_index=window_index, schedule=schedule, allocation_loss=allocation_loss
+        plan = WindowPlan(
+            window_index=window_index,
+            window_seconds=spec.window_duration,
+            schedule=schedule,
+            result=WindowResult(
+                window_index=window_index,
+                schedule=schedule,
+                allocation_loss=allocation_loss,
+            ),
         )
         for stream in streams:
             decision = schedule.decision_for(stream.name)
             delay = retraining_delays.get(stream.name, 0.0) if retraining_delays else 0.0
-            outcome = self._execute_stream(stream, window_index, decision, spec, delay=delay)
-            window_result.outcomes[stream.name] = outcome
-            completed_config = (
-                decision.retraining_config if outcome.retraining_completed else None
+            start_accuracy = self._dynamics.start_accuracy(stream, window_index)
+            post_accuracy: Optional[float] = None
+            gpu_seconds = 0.0
+            if decision.retraining_config is not None and decision.retrains:
+                post_accuracy = self._dynamics.candidate_post_accuracy(
+                    stream, window_index, decision.retraining_config
+                )
+                gpu_seconds = self._dynamics.retraining_gpu_seconds(
+                    stream, window_index, decision.retraining_config
+                )
+            # A start delay turns the allocation-driven duration into a fixed
+            # wall-clock completion time (the estimator's external path), so
+            # the retrained model lands delay + training time into the window.
+            external = decision.external_completion_seconds
+            if delay > 0:
+                if external is not None:
+                    external += delay
+                elif decision.retraining_gpu > 0 and gpu_seconds > 0:
+                    external = delay + gpu_seconds / decision.retraining_gpu
+            estimate = estimate_stream_average_accuracy(
+                start_accuracy=start_accuracy,
+                post_retraining_accuracy=post_accuracy,
+                retraining_gpu_seconds=gpu_seconds,
+                inference_config=decision.inference_config,
+                inference_gpu=decision.inference_gpu,
+                retraining_gpu=decision.retraining_gpu,
+                window_seconds=spec.window_duration,
+                external_retraining_duration=external,
             )
-            self._dynamics.commit_window(stream, window_index, completed_config)
-        return window_result
+            plan.streams[stream.name] = PlannedStream(
+                stream=stream,
+                decision=decision,
+                start_accuracy=start_accuracy,
+                post_retraining_accuracy=post_accuracy,
+                retraining_gpu_seconds=gpu_seconds,
+                estimate=estimate,
+                retraining_start_offset=delay if delay > 0 else 0.0,
+                allocation_driven=decision.external_completion_seconds is None,
+            )
+        return plan
 
-    # --------------------------------------------------------------- internal
-    def _execute_stream(
+    def settle_stream(
         self,
-        stream: VideoStream,
-        window_index: int,
-        decision: StreamDecision,
-        spec: EdgeServerSpec,
+        plan: WindowPlan,
+        stream_name: str,
         *,
-        delay: float = 0.0,
+        completion_offset: Optional[float] = None,
+        cancelled: bool = False,
     ) -> StreamWindowOutcome:
-        start_accuracy = self._dynamics.start_accuracy(stream, window_index)
-        post_accuracy: Optional[float] = None
-        gpu_seconds = 0.0
-        if decision.retraining_config is not None and decision.retrains:
-            post_accuracy = self._dynamics.candidate_post_accuracy(
-                stream, window_index, decision.retraining_config
+        """Realise one planned stream's outcome and commit the dynamics.
+
+        Three settle modes:
+
+        * default — the planned estimate is realised verbatim (what
+          :meth:`settle_window` and the whole-window :meth:`run_window` do);
+        * ``completion_offset`` — the retraining's realised wall-clock
+          duration changed after planning (reclaimed GPU capacity from a
+          cancelled neighbour accelerated it); the estimate is recomputed
+          with the new completion time;
+        * ``cancelled`` — the retraining was preempted mid-flight: the
+          stream keeps its stale model for the whole window, no retrained
+          state is committed, and the planned retraining benefit is lost.
+
+        Settling a stream twice is an error — the caller (the fleet's
+        preemptive event loop) owns exactly-once delivery.
+        """
+        planned = plan.streams.get(stream_name)
+        if planned is None:
+            raise SimulationError(
+                f"stream {stream_name!r} is not part of window {plan.window_index}'s plan"
             )
-            gpu_seconds = self._dynamics.retraining_gpu_seconds(
-                stream, window_index, decision.retraining_config
+        if plan.settled(stream_name):
+            raise SimulationError(
+                f"stream {stream_name!r} was already settled for window {plan.window_index}"
             )
-        # A start delay turns the allocation-driven duration into a fixed
-        # wall-clock completion time (the estimator's external path), so the
-        # retrained model lands delay + training time into the window.
-        external = decision.external_completion_seconds
-        if delay > 0:
-            if external is not None:
-                external += delay
-            elif decision.retraining_gpu > 0 and gpu_seconds > 0:
-                external = delay + gpu_seconds / decision.retraining_gpu
-        estimate = estimate_stream_average_accuracy(
-            start_accuracy=start_accuracy,
-            post_retraining_accuracy=post_accuracy,
-            retraining_gpu_seconds=gpu_seconds,
-            inference_config=decision.inference_config,
-            inference_gpu=decision.inference_gpu,
-            retraining_gpu=decision.retraining_gpu,
-            window_seconds=spec.window_duration,
-            external_retraining_duration=external,
-        )
+        if cancelled:
+            # No retrained model arrives: stale accuracy for the whole
+            # window, exactly the estimator's no-retraining branch.
+            estimate = estimate_stream_average_accuracy(
+                start_accuracy=planned.start_accuracy,
+                post_retraining_accuracy=None,
+                retraining_gpu_seconds=0.0,
+                inference_config=planned.decision.inference_config,
+                inference_gpu=planned.decision.inference_gpu,
+                retraining_gpu=planned.decision.retraining_gpu,
+                window_seconds=plan.window_seconds,
+            )
+        elif completion_offset is not None:
+            estimate = estimate_stream_average_accuracy(
+                start_accuracy=planned.start_accuracy,
+                post_retraining_accuracy=planned.post_retraining_accuracy,
+                retraining_gpu_seconds=planned.retraining_gpu_seconds,
+                inference_config=planned.decision.inference_config,
+                inference_gpu=planned.decision.inference_gpu,
+                retraining_gpu=planned.decision.retraining_gpu,
+                window_seconds=plan.window_seconds,
+                external_retraining_duration=completion_offset,
+            )
+        else:
+            estimate = planned.estimate
         outcome = StreamWindowOutcome(
-            stream_name=stream.name,
-            window_index=window_index,
-            decision=decision,
-            start_accuracy=start_accuracy,
-            post_retraining_accuracy=post_accuracy,
+            stream_name=stream_name,
+            window_index=plan.window_index,
+            decision=planned.decision,
+            start_accuracy=planned.start_accuracy,
+            post_retraining_accuracy=planned.post_retraining_accuracy,
             realized_average_accuracy=estimate.average_accuracy,
             accuracy_during_retraining=estimate.accuracy_during_retraining,
             accuracy_after_retraining=estimate.accuracy_after_retraining,
             retraining_duration=estimate.retraining_duration,
             retraining_completed=estimate.retraining_completes,
             minimum_instantaneous_accuracy=estimate.minimum_instantaneous_accuracy,
-            decision_window_seconds=spec.window_duration,
+            decision_window_seconds=plan.window_seconds,
         )
+        plan.result.outcomes[stream_name] = outcome
+        completed_config = (
+            planned.decision.retraining_config if outcome.retraining_completed else None
+        )
+        self._dynamics.commit_window(planned.stream, plan.window_index, completed_config)
         return outcome
+
+    def settle_window(self, plan: WindowPlan) -> WindowResult:
+        """Settle every stream still pending in ``plan``, in plan order."""
+        for name in plan.pending_streams():
+            self.settle_stream(plan, name)
+        return plan.result

@@ -866,3 +866,74 @@ class TestProfileSharing:
         # shared store (it has curves for the key by window 2).
         assert result.windows[2].admitted_streams
         assert controller.profile_sharing.store.num_pushes > 0
+
+
+class TestPreemptiveSiteFailure:
+    """The acceptance scenario for event-driven site internals: a site fails
+    *while retrainings are in flight*.  With ``preemptive_sites=True`` the
+    evacuation cancels those retrainings mid-window — the evacuees keep
+    their stale models and the remaining GPU-seconds show up as reclaimed —
+    while the default boundary-settled engine, which realised the whole
+    window at its start, reports no cancellations for the same timeline.
+    """
+
+    #: Ten seconds into window 1 of 200 s windows: retrainings planned at
+    #: the t=200 boundary are still in flight.
+    FAIL_AT = 210.0
+
+    def _scenario(self):
+        return Scenario(
+            events=[SiteFailure(at_seconds=self.FAIL_AT, site="site-0", recovery_at=800.0)]
+        )
+
+    def _run(self, *, preemptive):
+        controller = make_fleet(
+            3, 4, gpus_per_site=2, seed=SEED, preemptive_sites=preemptive
+        )
+        simulator = FleetSimulator(controller, self._scenario())
+        return simulator, simulator.run(5)
+
+    def test_failure_during_retraining_cancels_and_reclaims(self):
+        simulator, result = self._run(preemptive=True)
+        summary = result.summary()
+        assert summary["retrainings_cancelled"] >= 1
+        assert summary["reclaimed_gpu_seconds"] > 0.0
+        window = result.windows[1]
+        stats = window.site_stats["site-0"]
+        assert stats.retrainings_cancelled >= 1
+        assert stats.reclaimed_gpu_seconds > 0.0
+        # Every cancelled retraining's stream settled without the benefit,
+        # still attributed to the failed site's window.
+        cancelled = [
+            outcome
+            for outcome in window.stream_outcomes.values()
+            if outcome.site == "site-0" and not outcome.outcome.retraining_completed
+        ]
+        assert len(cancelled) >= stats.retrainings_cancelled
+
+    def test_preemption_events_ride_the_calendar(self):
+        from repro.fleet import InferenceReconfigured, RetrainingComplete
+
+        simulator, _ = self._run(preemptive=True)
+        trace = simulator.event_trace
+        assert any(isinstance(event, RetrainingComplete) for event in trace)
+        reasons = {
+            event.reason
+            for event in trace
+            if isinstance(event, InferenceReconfigured)
+        }
+        assert "retraining_cancelled" in reasons
+        assert "retraining_complete" in reasons
+
+    def test_boundary_engine_sees_the_same_timeline_without_preemption(self):
+        _, result = self._run(preemptive=False)
+        summary = result.summary()
+        assert summary["retrainings_cancelled"] == 0
+        assert summary["reclaimed_gpu_seconds"] == 0.0
+        # The same failure still evacuates streams; only the mid-window
+        # cancellation semantics differ.
+        assert any(
+            event.reason == "evacuation"
+            for window in result.windows
+            for event in window.migrations
+        )

@@ -505,6 +505,34 @@ class TestFleetMetrics:
         assert summary["num_streams"] == 4
         assert 0.0 < summary["mean_accuracy"] <= 1.0
 
+    def test_summary_key_set_matches_the_documented_contract(self):
+        """FleetResult.summary() keys are a documented API.
+
+        Every key is described in docs/events.md's metrics appendix; this
+        pins the exact set so documentation and code cannot drift — extend
+        both together, deliberately.
+        """
+        controller = _fleet(2, 2)
+        summary = FleetSimulator(controller, Scenario(), clock=ManualClock()).run(1).summary()
+        assert set(summary) == {
+            "admission_policy",
+            "num_sites",
+            "num_windows",
+            "num_streams",
+            "mean_accuracy",
+            "p10_worst_stream_accuracy",
+            "migration_count",
+            "total_migration_seconds",
+            "migrations_by_reason",
+            "mean_utilization",
+            "mean_allocation_loss",
+            "profiling_gpu_seconds",
+            "profiling_gpu_seconds_saved",
+            "retrainings_cancelled",
+            "reclaimed_gpu_seconds",
+            "wall_clock_seconds",
+        }
+
 
 # ----------------------------------------------------- allocation-loss surface
 class TestAllocationLossExposure:

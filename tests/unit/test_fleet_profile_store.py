@@ -134,3 +134,87 @@ class TestFleetProfileStore:
         for key in store.keys():
             assert restored.curves_for(key) == store.curves_for(key)
             assert restored.best_candidate(key) == store.best_candidate(key)
+
+
+class TestStaleCurveDecay:
+    """Exponential aging of pushed curves (``decay_half_life``)."""
+
+    def test_default_store_never_decays(self):
+        """Weight-1.0-forever is the default: arrival times change nothing."""
+        plain = FleetProfileStore()
+        plain.push(KEY, _profile(accuracies=(0.9, 0.9)))
+        plain.push(KEY, _profile(accuracies=(0.3, 0.3)))
+        timed = FleetProfileStore()
+        timed.push(KEY, _profile(accuracies=(0.9, 0.9)), at_seconds=0.0)
+        timed.push(KEY, _profile(accuracies=(0.3, 0.3)), at_seconds=1e6)
+        assert plain.curves_for(KEY) == timed.curves_for(KEY)
+        config = RetrainingConfig(epochs=5)
+        assert plain.curves_for(KEY)[config][1] == pytest.approx(0.6)
+
+    def test_invalid_half_life_rejected(self):
+        from repro.exceptions import ProfilingError
+
+        with pytest.raises(ProfilingError):
+            FleetProfileStore(decay_half_life=0.0)
+        with pytest.raises(ProfilingError):
+            FleetProfileStore(decay_half_life=-10.0)
+
+    def test_old_regime_curve_decays_below_a_fresh_push(self):
+        """The ROADMAP item: an old regime's curves must age out.
+
+        An early push says config reaches 0.9; ten half-lives later a fresh
+        push says 0.3.  The weighted mean must land near the fresh value,
+        not the 0.6 midpoint an undecayed store reports.
+        """
+        store = FleetProfileStore(decay_half_life=100.0)
+        store.push(KEY, _profile(accuracies=(0.9, 0.9)), at_seconds=0.0)
+        store.push(KEY, _profile(accuracies=(0.3, 0.3)), at_seconds=1000.0)
+        config = RetrainingConfig(epochs=5)
+        _, accuracy = store.curves_for(KEY)[config]
+        # weight of the old push is 2**-10: mean = (0.9/1024 + 0.3) / (1/1024 + 1)
+        assert accuracy == pytest.approx((0.9 / 1024 + 0.3) / (1 / 1024 + 1))
+        assert accuracy < 0.31  # the old regime no longer dominates
+        undecayed = FleetProfileStore()
+        undecayed.push(KEY, _profile(accuracies=(0.9, 0.9)))
+        undecayed.push(KEY, _profile(accuracies=(0.3, 0.3)))
+        assert undecayed.curves_for(KEY)[config][1] == pytest.approx(0.6)
+
+    def test_same_instant_pushes_share_full_weight(self):
+        store = FleetProfileStore(decay_half_life=50.0)
+        store.push(KEY, _profile(accuracies=(0.8, 0.8)), at_seconds=200.0)
+        store.push(KEY, _profile(accuracies=(0.4, 0.4)), at_seconds=200.0)
+        config = RetrainingConfig(epochs=5)
+        assert store.curves_for(KEY)[config][1] == pytest.approx(0.6)
+
+    def test_out_of_order_arrival_does_not_inflate(self):
+        """A late-arriving push must not resurrect already-decayed curves."""
+        store = FleetProfileStore(decay_half_life=100.0)
+        store.push(KEY, _profile(accuracies=(0.9, 0.9)), at_seconds=500.0)
+        store.push(KEY, _profile(accuracies=(0.3, 0.3)), at_seconds=100.0)
+        config = RetrainingConfig(epochs=5)
+        # Negative elapsed clamps to zero: equal weights, plain mean.
+        assert store.curves_for(KEY)[config][1] == pytest.approx(0.6)
+        assert store._last_push_at[KEY] == 500.0
+
+    def test_decay_round_trips_through_json(self):
+        store = FleetProfileStore(decay_half_life=100.0)
+        store.push(KEY, _profile(accuracies=(0.9, 0.9)), at_seconds=0.0)
+        store.push(KEY, _profile(accuracies=(0.3, 0.3)), at_seconds=250.0)
+        payload = json.loads(json.dumps(store.as_dict()))
+        # The half-life itself round-trips (via the payload's _meta entry):
+        # a plain from_dict keeps decaying, no kwarg required.
+        restored = FleetProfileStore.from_dict(payload)
+        assert restored.decay_half_life == 100.0
+        assert restored.curves_for(KEY) == store.curves_for(KEY)
+        # Continuing to push after the round trip decays from the same state.
+        fresh = _profile(accuracies=(0.5, 0.5))
+        store.push(KEY, fresh, at_seconds=400.0)
+        restored.push(KEY, fresh, at_seconds=400.0)
+        assert restored.curves_for(KEY) == store.curves_for(KEY)
+
+    def test_undecayed_payload_shape_is_unchanged(self):
+        """Default stores serialise exactly as before the decay feature."""
+        store = FleetProfileStore()
+        store.push(KEY, _profile())
+        (entry,) = store.as_dict().values()
+        assert "last_push_at" not in entry
