@@ -16,18 +16,29 @@ from ..exceptions import ConfigurationError
 
 @dataclass(frozen=True)
 class NetworkLink:
-    """A bidirectional WAN link with fixed uplink/downlink bandwidth."""
+    """A bidirectional WAN link with fixed uplink/downlink bandwidth.
+
+    ``loss_rate`` is the probability that a transfer crossing this link
+    fails in flight.  It only takes effect on fleets built with a
+    :class:`~repro.fleet.faults.WanFaultModel` (``make_fleet(wan_faults=
+    ...)``), where it composes with the model's own loss rate and the far
+    endpoint's link as independent loss processes; everywhere else (the
+    cloud-comparison transfer-time maths) it is inert.
+    """
 
     name: str
     uplink_mbps: float
     downlink_mbps: float
     rtt_seconds: float = 0.1
+    loss_rate: float = 0.0
 
     def __post_init__(self) -> None:
         if self.uplink_mbps <= 0 or self.downlink_mbps <= 0:
             raise ConfigurationError("link bandwidths must be positive")
         if self.rtt_seconds < 0:
             raise ConfigurationError("rtt_seconds must be non-negative")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ConfigurationError("loss_rate must be in [0, 1)")
 
     def upload_seconds(self, megabits: float) -> float:
         """Seconds to upload ``megabits`` of data."""
@@ -59,6 +70,7 @@ class NetworkLink:
             uplink_mbps=self.uplink_mbps * uplink_factor,
             downlink_mbps=self.downlink_mbps * downlink_factor,
             rtt_seconds=self.rtt_seconds,
+            loss_rate=self.loss_rate,
         )
 
 

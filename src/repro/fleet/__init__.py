@@ -13,11 +13,16 @@ thief-scheduler hot path runs completely unchanged.
 
 Event hierarchy (priority order at equal timestamps, smaller fires first):
 
-1. :class:`SiteRecovery` / :class:`WanRestore` — scenario-effect expiries;
-   no-ops unless their scheduling event still owns the site's state.
+1. :class:`SiteRecovery` / :class:`WanRestore` / :class:`GpuRecovered` —
+   scenario-effect expiries; site/WAN expiries are no-ops unless their
+   scheduling event still owns the site's state, GPU recoveries are
+   count-based (losses stack, each recovery returns what its failure took).
 2. :class:`ScenarioTrigger` — injected scenario events (flash crowd, site
-   failure, WAN degradation).
-3. :class:`TransferArrival` — a migrating checkpoint + profile lands.
+   failure, WAN degradation, partial GPU failure).
+3. :class:`TransferArrival` / :class:`TransferFailed` — a migrating
+   checkpoint + profile lands, or one WAN transfer attempt is lost (fleets
+   built with ``make_fleet(wan_faults=...)``); at one instant a transfer
+   either lands or fails, never both.
 4. :class:`RetrainingComplete` — one stream's in-flight retraining reaches
    its absolute finish time (only scheduled by fleets built with
    ``make_fleet(preemptive_sites=True)``).  After arrivals; before pushes
@@ -85,6 +90,17 @@ New capabilities, opted into explicitly:
   :class:`InferenceReconfigured` events).  Surfaced as
   ``retrainings_cancelled`` / ``reclaimed_gpu_seconds`` in
   :meth:`FleetResult.summary`.
+* **Partial-failure fault model**: ``make_fleet(..., wan_faults=
+  WanFaultModel(loss_rate=0.1, seed=7))`` makes checkpoint transfers and
+  profile pushes fail in flight (:class:`TransferFailed` events) —
+  checkpoints retry with exponential backoff and restart cold at the
+  destination when the retry budget runs out; lost pushes silently fall
+  back to local curves.  :class:`GpuFailure` scenario events shrink a
+  site's capacity by k of N GPUs until the matching :class:`GpuRecovered`.
+  Surfaced as ``transfers_failed`` / ``transfer_retries`` /
+  ``retry_seconds`` in :meth:`FleetResult.summary`.  The seeded chaos
+  harness in :mod:`repro.fleet.chaos` composes both into replayable fault
+  schedules and checks fleet-wide invariants across seed sweeps.
 """
 
 from .admission import (
@@ -96,6 +112,7 @@ from .admission import (
 from .calendar import (
     ControlTick,
     EventCalendar,
+    GpuRecovered,
     InferenceReconfigured,
     MigrationStarted,
     ProfilePush,
@@ -104,9 +121,11 @@ from .calendar import (
     SimEvent,
     SiteRecovery,
     TransferArrival,
+    TransferFailed,
     WanRestore,
     WindowBoundary,
 )
+from .chaos import ChaosInjector, ChaosReport, check_invariants, run_chaos_trial
 from .controller import FleetController
 from .factory import (
     ADMISSION_NAMES,
@@ -115,6 +134,7 @@ from .factory import (
     build_admission,
     make_fleet,
 )
+from .faults import WanFaultModel, combined_loss
 from .metrics import (
     FleetResult,
     FleetStreamOutcome,
@@ -125,6 +145,7 @@ from .metrics import (
 from .migration import PROFILE_SIZE_MBITS, MigrationCostModel, MigrationEvent
 from .scenarios import (
     FlashCrowd,
+    GpuFailure,
     Scenario,
     ScenarioEvent,
     SiteFailure,
@@ -140,6 +161,7 @@ __all__ = [
     "RandomAdmission",
     "ControlTick",
     "EventCalendar",
+    "GpuRecovered",
     "InferenceReconfigured",
     "MigrationStarted",
     "ProfilePush",
@@ -148,8 +170,13 @@ __all__ = [
     "SimEvent",
     "SiteRecovery",
     "TransferArrival",
+    "TransferFailed",
     "WanRestore",
     "WindowBoundary",
+    "ChaosInjector",
+    "ChaosReport",
+    "check_invariants",
+    "run_chaos_trial",
     "FleetController",
     "ADMISSION_NAMES",
     "DEFAULT_SHARED_MAX_CONFIGS",
@@ -161,10 +188,13 @@ __all__ = [
     "FleetWindowResult",
     "SiteWindowStats",
     "gpu_utilization",
+    "WanFaultModel",
+    "combined_loss",
     "PROFILE_SIZE_MBITS",
     "MigrationCostModel",
     "MigrationEvent",
     "FlashCrowd",
+    "GpuFailure",
     "Scenario",
     "ScenarioEvent",
     "SiteFailure",

@@ -15,6 +15,10 @@ Event hierarchy (all timestamped in absolute simulated seconds):
 * :class:`SiteRecovery` / :class:`WanRestore` — expiry of a scenario effect;
   fires only if the scheduling scenario event still *owns* the site's state
   (a later failure/degradation supersedes an earlier one's expiry).
+  :class:`GpuRecovered` shares the slot: ``k`` of a site's GPUs return to
+  service.  GPU losses *stack* (two failures of one GPU each leave the site
+  two short), so recoveries restore counts rather than ownership and are
+  never stale.
 * :class:`ScenarioTrigger` — an injected
   :class:`~repro.fleet.scenarios.Scenario` event fires (flash crowd, site
   failure, WAN degradation).  Scenarios are time-indexed; the old
@@ -23,6 +27,13 @@ Event hierarchy (all timestamped in absolute simulated seconds):
   finishes its WAN transfer.  Replaces PR 2's carryover-delay dict: the
   arrival is an absolute timestamp, so it can land mid-window and a window
   execution only pays the *remaining* transfer time.
+* :class:`TransferFailed` — one attempt of a WAN transfer was lost in
+  flight (fleets built with ``make_fleet(wan_faults=...)`` only).  Shares
+  the arrival slot: at one instant a transfer either lands or fails, never
+  both, and both outcomes must be observed before same-instant pushes and
+  control.  A ``final`` checkpoint failure is the give-up after the retry
+  budget — the stream restarts cold at its destination; a ``final``
+  profile-push failure just drops the batch (no retry).
 * :class:`RetrainingComplete` — one stream's in-flight retraining reaches
   its absolute finish time (preemptive sites only: fleets built with
   ``make_fleet(preemptive_sites=True)`` plan each window at its boundary
@@ -119,6 +130,26 @@ class WanRestore(SimEvent):
 
 
 @dataclass(frozen=True)
+class GpuRecovered(SimEvent):
+    """``num_gpus`` of a site's failed GPUs return to service.
+
+    Scheduled by a :class:`~repro.fleet.scenarios.GpuFailure` with a
+    recovery time, carrying the GPU count that failure actually took away.
+    Unlike :class:`SiteRecovery` there is no ownership guard: losses stack
+    (each failure removes up to ``num_gpus`` more from whatever capacity is
+    left), so each recovery restores its own count and can never be stale —
+    restoration is clamped to the GPUs currently lost.
+    """
+
+    priority: ClassVar[int] = 0
+    site: str = ""
+    num_gpus: int = 1
+
+    def describe(self) -> str:
+        return f"{super().describe()}  site={self.site} gpus={self.num_gpus}"
+
+
+@dataclass(frozen=True)
 class ScenarioTrigger(SimEvent):
     """An injected scenario event fires at its resolved absolute time."""
 
@@ -138,6 +169,37 @@ class TransferArrival(SimEvent):
 
     def describe(self) -> str:
         return f"{super().describe()}  stream={self.stream}"
+
+
+@dataclass(frozen=True)
+class TransferFailed(SimEvent):
+    """One attempt of a WAN transfer was lost in flight.
+
+    Scheduled only by fleets built with ``make_fleet(wan_faults=...)``.
+    ``kind`` distinguishes the two payloads: ``"checkpoint"`` failures
+    belong to a migrating stream's retry chain (``site`` is the
+    destination; a ``final`` failure is the give-up that restarts the
+    stream cold there), while ``"profile_push"`` failures drop a site's
+    whole pushed curve batch with no retry (``site`` is the source and the
+    event is always ``final``).  Shares the :class:`TransferArrival`
+    priority: at one instant a transfer either lands or fails, never both.
+    """
+
+    priority: ClassVar[int] = 2
+    stream: str = ""
+    site: str = ""
+    kind: str = "checkpoint"
+    attempt: int = 1
+    wasted_seconds: float = 0.0
+    final: bool = False
+
+    def describe(self) -> str:
+        label = self.stream if self.kind == "checkpoint" else self.kind
+        tail = " GIVE-UP" if self.final and self.kind == "checkpoint" else ""
+        return (
+            f"{super().describe()}  {label} site={self.site} "
+            f"attempt={self.attempt}{tail}"
+        )
 
 
 @dataclass(frozen=True)

@@ -36,6 +36,7 @@ from ..datasets.stream import VideoStream
 from ..exceptions import FleetError
 from ..profiles.dynamics import StreamDynamics
 from .admission import AdmissionPolicy
+from .faults import WanFaultModel
 from .migration import MigrationCostModel, MigrationEvent
 from .site import EdgeSite
 
@@ -58,6 +59,7 @@ class FleetController:
         stream_factory: Callable[..., VideoStream] = make_stream,
         profile_sharing: Optional["ProfileSharing"] = None,
         preemptive_sites: bool = False,
+        wan_faults: Optional[WanFaultModel] = None,
         seed: int = 0,
     ) -> None:
         if not sites:
@@ -78,6 +80,7 @@ class FleetController:
         self._stream_factory = stream_factory
         self._profile_sharing = profile_sharing
         self._preemptive_sites = preemptive_sites
+        self._wan_faults = wan_faults
         self._departure_hook: Optional[Callable[[str, str, str], None]] = None
         self._seed = seed
         self._stream_site: Dict[str, str] = {}
@@ -128,6 +131,18 @@ class FleetController:
         default — the boundary-settled engine is reproduced bit for bit.
         """
         return self._preemptive_sites
+
+    @property
+    def wan_faults(self) -> Optional[WanFaultModel]:
+        """The fleet's WAN loss model, or ``None`` (lossless, the default).
+
+        Set by :func:`~repro.fleet.factory.make_fleet` when built with
+        ``wan_faults=...``.  The :class:`~repro.fleet.simulator.
+        FleetSimulator` reads this to sample checkpoint-transfer retry
+        chains and profile-push losses; with ``None`` no fault RNG is ever
+        drawn and the lossless engine is reproduced bit for bit.
+        """
+        return self._wan_faults
 
     def set_departure_hook(
         self, hook: Optional[Callable[[str, str, str], None]]

@@ -33,6 +33,7 @@ from .admission import (
     RandomAdmission,
 )
 from .controller import FleetController
+from .faults import WanFaultModel
 from .migration import PROFILE_SIZE_MBITS, MigrationCostModel
 from .site import EdgeSite, SiteSpec
 
@@ -106,6 +107,7 @@ def make_fleet(
     profiling_settings: Optional[MicroProfilerSettings] = None,
     profile_decay_half_life: Optional[float] = None,
     preemptive_sites: bool = False,
+    wan_faults: Optional[WanFaultModel] = None,
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -157,6 +159,16 @@ def make_fleet(
     ``FleetResult.summary()`` (``retrainings_cancelled`` /
     ``reclaimed_gpu_seconds``).  Off by default — the boundary-settled
     engine is reproduced bit for bit.
+
+    ``wan_faults`` attaches a :class:`~repro.fleet.faults.WanFaultModel`:
+    checkpoint transfers fail in flight with the model's (and the endpoint
+    links') loss rate and retry with exponential backoff until the retry
+    budget runs out — then the stream restarts cold at its destination —
+    and profile pushes are lost outright (neighbours fall back to local
+    curves).  Surfaced as ``transfers_failed`` / ``transfer_retries`` /
+    ``retry_seconds`` in :meth:`FleetResult.summary`.  ``None`` (default)
+    never draws the fault RNG: the lossless engine is reproduced bit for
+    bit.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -236,6 +248,7 @@ def make_fleet(
         max_migrations_per_window=max_migrations_per_window,
         profile_sharing=sharing,
         preemptive_sites=preemptive_sites,
+        wan_faults=wan_faults,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

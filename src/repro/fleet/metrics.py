@@ -95,6 +95,17 @@ class SiteWindowStats:
     #: GPU-seconds of cancelled retrainings' remaining work reclaimed for
     #: the site's other in-flight retrainings (preemptive sites only).
     reclaimed_gpu_seconds: float = 0.0
+    #: WAN transfer attempts into/out of this site lost in flight — failed
+    #: checkpoint-transfer attempts (charged to the destination) and lost
+    #: profile pushes (charged to the source).  0 unless the fleet was
+    #: built with ``make_fleet(wan_faults=...)``.
+    transfers_failed: int = 0
+    #: Failed checkpoint attempts that were retried (a give-up after the
+    #: retry budget, and a lost profile push, fail without a retry).
+    transfer_retries: int = 0
+    #: Wall-clock seconds lost to failed attempts: the wasted transfers
+    #: plus the exponential backoff before each retry.
+    retry_seconds: float = 0.0
 
 
 @dataclass
@@ -163,6 +174,21 @@ class FleetWindowResult:
         return float(
             sum(stats.reclaimed_gpu_seconds for stats in self.site_stats.values())
         )
+
+    @property
+    def transfers_failed(self) -> int:
+        """WAN transfer attempts lost in flight across the fleet this window."""
+        return sum(stats.transfers_failed for stats in self.site_stats.values())
+
+    @property
+    def transfer_retries(self) -> int:
+        """Failed checkpoint-transfer attempts retried this window."""
+        return sum(stats.transfer_retries for stats in self.site_stats.values())
+
+    @property
+    def retry_seconds(self) -> float:
+        """Wall-clock seconds lost to failed transfer attempts this window."""
+        return float(sum(stats.retry_seconds for stats in self.site_stats.values()))
 
 
 @dataclass
@@ -259,6 +285,22 @@ class FleetResult:
         """GPU-seconds reclaimed from cancelled retrainings over the run."""
         return float(sum(w.reclaimed_gpu_seconds for w in self.windows))
 
+    # --------------------------------------------------------------- faults
+    @property
+    def transfers_failed(self) -> int:
+        """WAN transfer attempts lost in flight over the whole run."""
+        return sum(w.transfers_failed for w in self.windows)
+
+    @property
+    def transfer_retries(self) -> int:
+        """Failed checkpoint-transfer attempts that were retried."""
+        return sum(w.transfer_retries for w in self.windows)
+
+    @property
+    def retry_seconds(self) -> float:
+        """Wall-clock seconds lost to failed transfer attempts over the run."""
+        return float(sum(w.retry_seconds for w in self.windows))
+
     # -------------------------------------------------------------- export
     def summary(self) -> Dict[str, object]:
         """Flat JSON-friendly summary (benchmark trajectories, examples).
@@ -284,5 +326,8 @@ class FleetResult:
             "profiling_gpu_seconds_saved": self.profiling_gpu_seconds_saved,
             "retrainings_cancelled": self.retrainings_cancelled,
             "reclaimed_gpu_seconds": self.reclaimed_gpu_seconds,
+            "transfers_failed": self.transfers_failed,
+            "transfer_retries": self.transfer_retries,
+            "retry_seconds": self.retry_seconds,
             "wall_clock_seconds": self.wall_clock_seconds,
         }

@@ -9,6 +9,13 @@ stale model's accuracy and any scheduled retraining cannot start, which is
 exactly how :class:`~repro.fleet.metrics.FleetStreamOutcome` accounts the
 cost: the post-retraining accuracy segment of the window is delayed by the
 transfer time.
+
+The transfer times computed here are the *lossless* baseline.  On fleets
+built with ``make_fleet(wan_faults=...)`` the simulator stretches each
+transfer through :func:`~repro.fleet.faults.sample_transfer` — failed
+attempts and their backoffs extend the arrival, and a transfer whose retry
+budget runs out never arrives at all (the stream restarts cold at the
+destination).  This module stays loss-agnostic: one hop, one transfer time.
 """
 
 from __future__ import annotations

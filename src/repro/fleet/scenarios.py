@@ -19,6 +19,12 @@ window duration, and therefore requires a homogeneous-window fleet.
 * :class:`WanDegradation` — a site's WAN bandwidth is scaled down (congestion,
   backhaul fault), making migrations in and out of it more expensive, until
   an optional ``until_at`` / ``until_window``.
+* :class:`GpuFailure` — ``num_gpus`` of a site's GPUs fail (partial site
+  degradation: the site keeps running on its remaining capacity instead of
+  going dark), optionally recovering at ``recovery_at`` / ``recovery_window``.
+  Losses stack: the failure removes up to ``num_gpus`` from whatever
+  capacity is currently left, and its recovery restores exactly the count
+  it took.
 
 Every event is validated at construction (negative times, expiry not after
 the trigger) and again when handed to a
@@ -177,7 +183,39 @@ class WanDegradation(_TimedEvent):
         return self._resolve(self.until_window, self.until_at, window_duration)
 
 
-ScenarioEvent = Union[FlashCrowd, SiteFailure, WanDegradation]
+@dataclass(frozen=True)
+class GpuFailure(_TimedEvent):
+    """``num_gpus`` of ``site``'s GPUs fail at the trigger time.
+
+    Partial degradation, not all-or-nothing: the site stays healthy and
+    keeps serving its streams on the remaining capacity (a site down to
+    zero effective GPUs skips windows entirely until a recovery).  Fleets
+    with ``preemptive_sites=True`` rescale their in-flight retrainings at
+    the failure instant; boundary-settled sites replan at their next
+    window boundary.
+    """
+
+    window: Optional[int] = None
+    site: str = ""
+    num_gpus: int = 1
+    recovery_window: Optional[int] = None
+    at_seconds: Optional[float] = None
+    recovery_at: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        _validate_trigger(self)
+        if not self.site:
+            raise FleetError("GpuFailure needs a site name")
+        if self.num_gpus < 1:
+            raise FleetError("GpuFailure needs num_gpus >= 1")
+        _validate_expiry(self, self.recovery_window, self.recovery_at, "recovery")
+
+    def recovery_seconds(self, window_duration: Optional[float]) -> Optional[float]:
+        """Absolute recovery time, or ``None`` if the GPUs stay down."""
+        return self._resolve(self.recovery_window, self.recovery_at, window_duration)
+
+
+ScenarioEvent = Union[FlashCrowd, SiteFailure, WanDegradation, GpuFailure]
 
 
 @dataclass

@@ -8,17 +8,27 @@ WAN transfer arrivals and control ticks are all first-class timestamped
 events, popped in deterministic ``(time, priority, seq)`` order and
 dispatched to one handler each:
 
-* ``SiteRecovery`` / ``WanRestore`` — a scenario effect expires, if its
-  scheduling event still owns the site's state (latest event wins: a
-  re-degraded link does not snap back when the first degradation would
-  have ended).
+* ``SiteRecovery`` / ``WanRestore`` / ``GpuRecovered`` — a scenario effect
+  expires.  Site and WAN effects are ownership-guarded (latest event wins:
+  a re-degraded link does not snap back when the first degradation would
+  have ended); GPU recoveries are count-based instead — losses stack and
+  each recovery returns exactly the clamped count its failure took.
 * ``ScenarioTrigger`` — site failures force-evacuate (scheduling one
   ``TransferArrival`` per hop), flash crowds admit, WAN degradations scale
-  the link and schedule their own restore.
+  the link and schedule their own restore, GPU failures shrink the site's
+  effective capacity (a preemptive site rescales its in-flight retrainings
+  mid-window; a boundary-settled one replans at its next boundary).
 * ``TransferArrival`` — a migrating checkpoint + profile lands.  Arrivals
   are absolute timestamps, so a transfer can complete mid-window and the
   next window pays only the remaining time; one spanning several windows
   keeps delaying retraining until it has fully arrived.
+* ``TransferFailed`` — one WAN transfer attempt was lost (fleets built
+  with ``make_fleet(wan_faults=...)``).  Checkpoint transfers retry with
+  exponential backoff until the retry budget runs out — the final give-up
+  restarts the stream cold at its destination — and profile pushes are
+  lost outright, neighbours falling back to local curves.  Every failure
+  lands in the destination site's ``transfers_failed`` /
+  ``transfer_retries`` / ``retry_seconds`` stats.
 * ``ProfilePush`` — a site's micro-profiled curves land in the fleet-wide
   profile store (cross-site profile sharing; scheduled only for fleets
   built with ``make_fleet(profile_sharing=True)``).  The arrival paid the
@@ -67,9 +77,11 @@ from ..profiles.fleet_store import stream_profile_key
 from ..simulation.simulator import StreamWindowOutcome, WindowPlan
 from ..utils.clock import Clock, Stopwatch
 from ..utils.math_utils import safe_mean
+from ..utils.rng import ensure_rng
 from .calendar import (
     ControlTick,
     EventCalendar,
+    GpuRecovered,
     InferenceReconfigured,
     MigrationStarted,
     ProfilePush,
@@ -78,10 +90,12 @@ from .calendar import (
     SimEvent,
     SiteRecovery,
     TransferArrival,
+    TransferFailed,
     WanRestore,
     WindowBoundary,
 )
 from .controller import FleetController
+from .faults import combined_loss, sample_transfer
 from .metrics import (
     FleetResult,
     FleetStreamOutcome,
@@ -90,7 +104,7 @@ from .metrics import (
     gpu_utilization,
 )
 from .migration import MigrationEvent
-from .scenarios import FlashCrowd, Scenario, SiteFailure, WanDegradation
+from .scenarios import FlashCrowd, GpuFailure, Scenario, SiteFailure, WanDegradation
 from .site import EdgeSite
 
 
@@ -194,6 +208,14 @@ class FleetSimulator:
         #: Latest failure / degradation event owning each site's state.
         self._failure_owner: Dict[str, SiteFailure] = {}
         self._wan_owner: Dict[str, WanDegradation] = {}
+        #: WAN loss model (``make_fleet(wan_faults=...)``); ``None`` keeps
+        #: the lossless engine bit-identical — the fault RNG is never drawn.
+        self._wan_faults = controller.wan_faults
+        self._fault_rng = None
+        #: Per-site ``[transfers_failed, transfer_retries, retry_seconds]``
+        #: accumulated by TransferFailed events, popped into the site's next
+        #: :class:`~repro.fleet.metrics.SiteWindowStats`.
+        self._fault_counters: Dict[str, List] = {}
         #: In-flight WAN transfers, tracked in two mathematically equal
         #: views.  ``_transfer_arrival`` is the absolute landing time of a
         #: stream's (possibly chained) transfer: it schedules the
@@ -371,6 +393,10 @@ class FleetSimulator:
         self._last_emitted = start_window - 1
         self._horizon = self._start_time
         self._calendar = EventCalendar(start_time=self._start_time)
+        if self._wan_faults is not None:
+            # One seeded generator, drawn strictly in event order, fixes the
+            # whole fault realisation of a run (replayable chaos).
+            self._fault_rng = ensure_rng(self._wan_faults.seed)
         for site in controller.sites:
             self._schedule_boundary(site, start_window)
         if self._control_interval is not None:
@@ -465,9 +491,11 @@ class FleetSimulator:
             pass
         elif isinstance(event, TransferArrival):
             self._on_transfer_arrival(event)
+        elif isinstance(event, TransferFailed):
+            self._on_transfer_failed(event)
         elif isinstance(event, ScenarioTrigger):
             self._on_scenario_trigger(event)
-        elif isinstance(event, (SiteRecovery, WanRestore)):
+        elif isinstance(event, (SiteRecovery, WanRestore, GpuRecovered)):
             self._on_expiry(event)
         else:  # pragma: no cover - the event hierarchy is closed
             raise FleetError(f"unknown simulation event {event!r}")
@@ -478,6 +506,14 @@ class FleetSimulator:
             if self._failure_owner.get(event.site) is event.owner:
                 self._controller.recover_site(event.site)
                 del self._failure_owner[event.site]
+        elif isinstance(event, GpuRecovered):
+            # Count-based, not ownership-guarded: losses stack, so each
+            # recovery restores exactly what its failure took (clamped to
+            # the GPUs still lost) and can never be stale.
+            site = self._controller.site(event.site)
+            before = site.effective_gpus
+            if site.restore_gpus(event.num_gpus):
+                self._rescale_site_retrainings(event.site, before, site.effective_gpus)
         else:
             if self._wan_owner.get(event.site) is event.owner:
                 self._controller.site(event.site).restore_wan()
@@ -507,6 +543,17 @@ class FleetSimulator:
                 self._calendar.schedule(
                     WanRestore(time=until, site=event.site, owner=event)
                 )
+        elif isinstance(event, GpuFailure):
+            site = controller.site(event.site)
+            before = site.effective_gpus
+            taken = site.degrade_gpus(event.num_gpus)
+            if taken:
+                recovery = event.recovery_seconds(shared)
+                if recovery is not None:
+                    self._calendar.schedule(
+                        GpuRecovered(time=recovery, site=event.site, num_gpus=taken)
+                    )
+                self._rescale_site_retrainings(event.site, before, site.effective_gpus)
         elif isinstance(event, FlashCrowd):
             streams = controller.spawn_streams(
                 event.dataset, event.num_streams, cycle.window_index, site=event.site
@@ -527,6 +574,27 @@ class FleetSimulator:
         # arrival; only the final arrival clears the in-flight record.
         if self._transfer_arrival.get(event.stream) == event.time:
             del self._transfer_arrival[event.stream]
+
+    def _on_transfer_failed(self, event: TransferFailed) -> None:
+        """One WAN transfer attempt was lost; account it, and on a final
+        checkpoint give-up restart the stream cold at its destination."""
+        counters = self._fault_counters.setdefault(event.site, [0, 0, 0.0])
+        counters[0] += 1
+        if event.kind == "checkpoint" and not event.final:
+            counters[1] += 1
+        counters[2] += event.wasted_seconds
+        if event.kind != "checkpoint" or not event.final:
+            return
+        # The give-up ends the stream's in-flight saga — unless a later hop
+        # already superseded it (the record then points past this event and
+        # the newer hop's outcome decides the stream's fate).
+        if self._transfer_arrival.get(event.stream) != event.time:
+            return
+        del self._transfer_arrival[event.stream]
+        # The destination never received the checkpoint: the stream's
+        # serving-model state is lost and it restarts as freshly deployed,
+        # paying its accumulated retraining benefit.
+        self._controller.dynamics.invalidate_stream(event.stream)
 
     def _on_profile_push(self, event: ProfilePush) -> None:
         """A site's profiled curves finish their uplink crossing and merge."""
@@ -557,6 +625,7 @@ class FleetSimulator:
         if window_result is None:
             return
         profiling_cost, profiling_saved = self._share_profiles(site, boundary)
+        failed, retries, wasted = self._pop_fault_counters(site.name)
         cycle.site_results[site.name] = window_result
         cycle.site_stats[site.name] = SiteWindowStats(
             site=site.name,
@@ -571,6 +640,9 @@ class FleetSimulator:
             scheduler_runtime_seconds=window_result.schedule.scheduler_runtime_seconds,
             profiling_gpu_seconds=profiling_cost,
             profiling_gpu_seconds_saved=profiling_saved,
+            transfers_failed=failed,
+            transfer_retries=retries,
+            retry_seconds=wasted,
         )
         for name, outcome in window_result.outcomes.items():
             cycle.stream_outcomes[name] = FleetStreamOutcome(
@@ -752,6 +824,88 @@ class FleetSimulator:
                 )
             )
 
+    def _rescale_site_retrainings(
+        self, site_name: str, old_capacity: int, new_capacity: int
+    ) -> None:
+        """Replan a preemptive site's in-flight retrainings after a capacity
+        change (``GpuFailure`` / ``GpuRecovered`` mid-window).
+
+        Every allocation-driven in-flight retraining keeps its share of the
+        machine: its allocation scales by ``new/old`` capacity and its
+        completion is rescheduled with remaining work conserved — later on a
+        shrink (possibly past the window end, where it settles as not
+        completed), earlier on a recovery.  Fixed external completions
+        (cloud offload) are untouched.  A shrink to zero cancels everything
+        in flight: with no GPUs there is nothing to finish on.  Boundary-
+        settled sites need none of this — their next plan simply sees the
+        rebuilt, smaller server.
+        """
+        if not self._preemptive:
+            return
+        open_window = self._open_windows.get(site_name)
+        if open_window is None:
+            return
+        now = self._calendar.now
+        if new_capacity <= 0:
+            site = self._controller.site(site_name)
+            for name in sorted(open_window.expected):
+                del open_window.expected[name]
+                open_window.alloc.pop(name, None)
+                open_window.ready.pop(name, None)
+                open_window.accelerable.discard(name)
+                open_window.overrides.pop(name, None)
+                open_window.retrainings_cancelled += 1
+                outcome = site.settle_stream(open_window.plan, name, cancelled=True)
+                self._record_settled(open_window, name, outcome)
+                self._calendar.schedule(
+                    InferenceReconfigured(
+                        time=now,
+                        site=site_name,
+                        stream=name,
+                        inference_gpu=0.0,
+                        reason="gpu_failure",
+                    )
+                )
+            return
+        if old_capacity <= 0:
+            # Recovering from a total GPU loss: everything in flight was
+            # cancelled when capacity hit zero, so there is nothing to
+            # rescale — the site's next boundary replans at full strength.
+            return
+        ratio = new_capacity / old_capacity
+        for name in sorted(open_window.expected):
+            if name not in open_window.accelerable:
+                continue
+            expected = open_window.expected[name]
+            if expected <= now:
+                continue
+            effective_start = max(now, open_window.ready.get(name, now))
+            remaining_work = (expected - effective_start) * open_window.alloc[name]
+            new_alloc = open_window.alloc[name] * ratio
+            new_completion = effective_start + remaining_work / new_alloc
+            open_window.alloc[name] = new_alloc
+            open_window.expected[name] = new_completion
+            open_window.overrides[name] = new_completion - open_window.start
+            self._calendar.schedule(
+                RetrainingComplete(
+                    time=new_completion,
+                    site=site_name,
+                    stream=name,
+                    window_index=open_window.window_index,
+                )
+            )
+
+    def _pop_fault_counters(self, site_name: str):
+        """Drain the site's accumulated WAN-fault counters for its stats row.
+
+        Non-preemptive stats are built at the window's *opening* boundary,
+        so faults that fire during window k are attributed to the site's
+        window-(k+1) row; the preemptive engine settles at the closing
+        boundary and attributes them to the window they happened in.
+        """
+        failed, retries, wasted = self._fault_counters.pop(site_name, (0, 0, 0.0))
+        return failed, retries, wasted
+
     def _record_settled(
         self, open_window: _OpenSiteWindow, name: str, outcome: StreamWindowOutcome
     ) -> None:
@@ -786,6 +940,7 @@ class FleetSimulator:
         open_window.accelerable.clear()
         result = plan.result
         cost, saved = open_window.profiling
+        failed, retries, wasted = self._pop_fault_counters(site_name)
         open_window.cycle.site_results[site_name] = result
         open_window.cycle.site_stats[site_name] = SiteWindowStats(
             site=site_name,
@@ -802,6 +957,9 @@ class FleetSimulator:
             profiling_gpu_seconds_saved=saved,
             retrainings_cancelled=open_window.retrainings_cancelled,
             reclaimed_gpu_seconds=open_window.reclaimed_gpu_seconds,
+            transfers_failed=failed,
+            transfer_retries=retries,
+            retry_seconds=wasted,
         )
 
     # ------------------------------------------------------- profile sharing
@@ -831,9 +989,26 @@ class FleetSimulator:
         if pushes:
             payload = sharing.payload_mbits_per_stream * len(pushes)
             arrival = boundary.time + site.link.upload_seconds(payload)
-            self._calendar.schedule(
-                ProfilePush(time=arrival, site=site.name, profiles=tuple(pushes))
-            )
+            if self._wan_faults is not None and self._fault_rng.random() < combined_loss(
+                self._wan_faults.effective_push_loss_rate, site.link.loss_rate
+            ):
+                # The batched push is lost outright — no retry; neighbours
+                # silently fall back to whatever curves already arrived.
+                self._calendar.schedule(
+                    TransferFailed(
+                        time=arrival,
+                        stream="",
+                        site=site.name,
+                        kind="profile_push",
+                        attempt=1,
+                        wasted_seconds=arrival - boundary.time,
+                        final=True,
+                    )
+                )
+            else:
+                self._calendar.schedule(
+                    ProfilePush(time=arrival, site=site.name, profiles=tuple(pushes))
+                )
         return cost, saved
 
     # ------------------------------------------------------------- transfers
@@ -852,11 +1027,48 @@ class FleetSimulator:
             if self._record_events:
                 self._event_trace.append(MigrationStarted(time=time, migration=event))
             departed = max(self._transfer_arrival.get(event.stream_name, time), time)
-            arrival = departed + event.transfer_seconds
+            if self._wan_faults is None:
+                arrival = departed + event.transfer_seconds
+                effective_seconds = event.transfer_seconds
+                self._calendar.schedule(
+                    TransferArrival(time=arrival, stream=event.stream_name)
+                )
+            else:
+                # Compose the model's base loss with both endpoints' link
+                # loss; sample the whole retry saga now (draws happen in
+                # event order, so a fixed seed replays bit for bit) and
+                # schedule every attempt's failure plus the final arrival.
+                loss = combined_loss(
+                    self._wan_faults.loss_rate,
+                    self._controller.site(event.source).link.loss_rate,
+                    self._controller.site(event.destination).link.loss_rate,
+                )
+                outcome = sample_transfer(
+                    self._fault_rng,
+                    departed=departed,
+                    transfer_seconds=event.transfer_seconds,
+                    loss_rate=loss,
+                    model=self._wan_faults,
+                )
+                for failure in outcome.failures:
+                    self._calendar.schedule(
+                        TransferFailed(
+                            time=failure.failed_at,
+                            stream=event.stream_name,
+                            site=event.destination,
+                            kind="checkpoint",
+                            attempt=failure.attempt,
+                            wasted_seconds=failure.wasted_seconds,
+                            final=failure.final,
+                        )
+                    )
+                arrival = outcome.ends_at
+                effective_seconds = arrival - departed
+                if outcome.delivered:
+                    self._calendar.schedule(
+                        TransferArrival(time=arrival, stream=event.stream_name)
+                    )
             self._transfer_arrival[event.stream_name] = arrival
-            self._calendar.schedule(
-                TransferArrival(time=arrival, stream=event.stream_name)
-            )
             # Anchor the hop to the destination's next window boundary: a hop
             # departing at (or after) that boundary charges its full transfer
             # there; one already in flight when the window starts charges only
@@ -868,7 +1080,7 @@ class FleetSimulator:
             self._transfer_hops[event.stream_name] = self._transfer_hops.get(
                 event.stream_name, 0.0
             ) + (
-                event.transfer_seconds
+                effective_seconds
                 if next_boundary <= departed
                 else max(0.0, arrival - next_boundary)
             )

@@ -10,9 +10,13 @@ hot path runs completely unchanged; the fleet layer only decides *which*
 streams each site owns in each window.
 
 Sites also carry operational state the fleet scenarios manipulate: a health
-flag (site failure/recovery) and a WAN link whose bandwidth can be degraded,
+flag (site failure/recovery), a WAN link whose bandwidth can be degraded —
 which is what migrations into and out of the site pay for checkpoint and
-profile transfer.
+profile transfer — and a partial-degradation GPU count: a
+:class:`~repro.fleet.scenarios.GpuFailure` removes k of N GPUs and the site
+keeps running on the remainder (its server spec and GPU fleet are rebuilt
+at the reduced capacity), skipping windows entirely only when every GPU is
+gone.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from dataclasses import dataclass
 from typing import List, Mapping, Optional
 
 from ..cluster.edge_server import EdgeServer, EdgeServerSpec
+from ..cluster.gpu import GPUFleet
 from ..cluster.network import CELLULAR_4G_X2, NetworkLink
 from ..core.policy import WindowPolicy
 from ..datasets.stream import VideoStream
@@ -110,6 +115,8 @@ class EdgeSite:
         )
         self.healthy = True
         self.link = spec.link
+        #: Provisioned GPUs currently failed (partial degradation).
+        self.gpus_lost = 0
 
     # ------------------------------------------------------------- accessors
     @property
@@ -133,9 +140,25 @@ class EdgeSite:
         return self._server.num_streams
 
     @property
+    def effective_gpus(self) -> int:
+        """GPUs currently in service: provisioned minus failed."""
+        return self.spec.num_gpus - self.gpus_lost
+
+    @property
     def load(self) -> float:
-        """Streams per GPU — the overload signal the controller rebalances on."""
-        return self._server.num_streams / self.spec.num_gpus
+        """Streams per GPU — the overload signal the controller rebalances on.
+
+        Computed against the *effective* capacity, so a partially degraded
+        site looks proportionally more loaded and rebalancing drains it.  A
+        site with every GPU failed gets a large finite load (``inf`` would
+        defeat the controller's overload comparisons) so it is always the
+        first rebalancing source.  With no GPUs lost this is exactly the
+        provisioned streams-per-GPU ratio.
+        """
+        effective = self.effective_gpus
+        if effective <= 0:
+            return 1e6 * max(1, self._server.num_streams)
+        return self._server.num_streams / effective
 
     # ------------------------------------------------------------ membership
     def attach(self, stream: VideoStream) -> None:
@@ -164,7 +187,7 @@ class EdgeSite:
         ``window_start_seconds``); see
         :meth:`repro.simulation.simulator.Simulator.run_window`.
         """
-        if not self.healthy or self._server.num_streams == 0:
+        if not self.healthy or self._server.num_streams == 0 or self.effective_gpus < 1:
             return None
         return self._simulator.run_window(
             window_index,
@@ -189,7 +212,7 @@ class EdgeSite:
         each stream — possibly early, rescheduled, or cancelled — through
         :meth:`settle_stream` / :meth:`settle_window`.
         """
-        if not self.healthy or self._server.num_streams == 0:
+        if not self.healthy or self._server.num_streams == 0 or self.effective_gpus < 1:
             return None
         return self._simulator.plan_window(
             window_index,
@@ -227,6 +250,57 @@ class EdgeSite:
 
     def recover(self) -> None:
         self.healthy = True
+
+    # ----------------------------------------------------- GPU degradation
+    def degrade_gpus(self, num_gpus: int = 1) -> int:
+        """Take up to ``num_gpus`` GPUs out of service; returns the count taken.
+
+        Losses stack: each call removes from whatever capacity is left, and
+        the clamped return value is what the matching
+        :class:`~repro.fleet.calendar.GpuRecovered` must restore.  The
+        server's spec and GPU fleet are rebuilt at the reduced capacity, so
+        the thief scheduler's next plan sees the smaller machine; at zero
+        effective GPUs the site simply skips windows until a recovery.
+        """
+        if num_gpus < 1:
+            raise FleetError("degrade_gpus needs num_gpus >= 1")
+        taken = min(num_gpus, self.effective_gpus)
+        if taken:
+            self.gpus_lost += taken
+            self._apply_capacity()
+        return taken
+
+    def restore_gpus(self, num_gpus: int = 1) -> int:
+        """Return up to ``num_gpus`` failed GPUs to service; returns the count."""
+        if num_gpus < 1:
+            raise FleetError("restore_gpus needs num_gpus >= 1")
+        restored = min(num_gpus, self.gpus_lost)
+        if restored:
+            self.gpus_lost -= restored
+            self._apply_capacity()
+        return restored
+
+    def _apply_capacity(self) -> None:
+        """Rebuild the server's spec + GPU fleet at the effective capacity.
+
+        ``delta`` (and with it the default steal quantum) is clamped into
+        the shrunken spec's valid range; the provisioned :class:`SiteSpec`
+        is never touched, so restoring every GPU reproduces the original
+        server spec exactly.
+        """
+        effective = self.effective_gpus
+        if effective < 1:
+            # Nothing to rebuild: plan/run guards keep the site idle, and
+            # the stale server spec is never consulted while idle.
+            return
+        base = self.spec
+        self._server.spec = EdgeServerSpec(
+            num_gpus=effective,
+            delta=min(base.delta, float(effective)),
+            min_inference_accuracy=base.min_inference_accuracy,
+            window_duration=base.window_duration,
+        )
+        self._server.fleet = GPUFleet(effective)
 
     # ------------------------------------------------------------------ WAN
     def degrade_wan(self, uplink_factor: float = 1.0, downlink_factor: float = 1.0) -> None:

@@ -99,6 +99,17 @@ class StreamDynamics(abc.ABC):
     def reset(self) -> None:  # pragma: no cover - overridden where stateful
         """Forget all per-stream state (used between independent experiments)."""
 
+    def invalidate_stream(self, stream_name: str) -> None:
+        """Drop one stream's serving-model state: it restarts *cold*.
+
+        The fleet calls this when a migrated stream's checkpoint transfer
+        exhausts its WAN retry budget (see
+        :class:`~repro.fleet.faults.WanFaultModel`): the destination never
+        received the model, so the stream re-enters as if freshly deployed
+        — its accumulated retraining benefit is lost.  A stream with no
+        tracked state is a no-op.
+        """
+
 
 class AnalyticDynamics(StreamDynamics):
     """Deterministic drift-driven accuracy model (the simulator's 'trace')."""
@@ -216,6 +227,12 @@ class AnalyticDynamics(StreamDynamics):
     def reset(self) -> None:
         self._states.clear()
 
+    def invalidate_stream(self, stream_name: str) -> None:
+        # The next query re-initialises the state at pre-deployment
+        # staleness (trained before the experiment started), which is
+        # exactly what "the checkpoint never arrived" means here.
+        self._states.pop(stream_name, None)
+
 
 class SubstrateDynamics(StreamDynamics):
     """Accuracy dynamics measured by actually training the numpy edge models."""
@@ -315,3 +332,14 @@ class SubstrateDynamics(StreamDynamics):
     def reset(self) -> None:
         self._learners.clear()
         self._candidate_cache.clear()
+
+    def invalidate_stream(self, stream_name: str) -> None:
+        # Dropping the learner makes the next query warm-start a fresh
+        # model (the pre-deployment baseline); cached candidates trained
+        # from the lost weights are stale with it.
+        self._learners.pop(stream_name, None)
+        self._candidate_cache = {
+            key: value
+            for key, value in self._candidate_cache.items()
+            if key[0] != stream_name
+        }

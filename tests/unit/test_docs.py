@@ -69,8 +69,10 @@ class TestDocumentation:
         for event in (
             "SiteRecovery",
             "WanRestore",
+            "GpuRecovered",
             "ScenarioTrigger",
             "TransferArrival",
+            "TransferFailed",
             "RetrainingComplete",
             "InferenceReconfigured",
             "ProfilePush",

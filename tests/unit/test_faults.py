@@ -1,0 +1,149 @@
+"""Unit tests for the WAN partial-failure fault model (repro.fleet.faults)."""
+
+import pytest
+
+from repro.cluster.network import NetworkLink
+from repro.exceptions import ConfigurationError, FleetError
+from repro.fleet.faults import (
+    WanFaultModel,
+    combined_loss,
+    sample_transfer,
+)
+
+
+class _ScriptedRng:
+    """Stands in for a numpy Generator: .random() pops scripted draws."""
+
+    def __init__(self, draws):
+        self._draws = list(draws)
+
+    def random(self):
+        return self._draws.pop(0)
+
+    @property
+    def draws_left(self):
+        return len(self._draws)
+
+
+class TestWanFaultModel:
+    def test_defaults_are_valid_and_lossless(self):
+        model = WanFaultModel()
+        assert model.loss_rate == 0.0
+        assert model.effective_push_loss_rate == 0.0
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"loss_rate": -0.1},
+            {"loss_rate": 1.0},
+            {"max_retries": -1},
+            {"backoff_seconds": -1.0},
+            {"backoff_factor": 0.5},
+            {"push_loss_rate": 1.0},
+            {"push_loss_rate": -0.2},
+        ],
+    )
+    def test_rejects_invalid_knobs(self, kwargs):
+        with pytest.raises(FleetError):
+            WanFaultModel(**kwargs)
+
+    def test_push_loss_rate_falls_back_to_loss_rate(self):
+        assert WanFaultModel(loss_rate=0.2).effective_push_loss_rate == 0.2
+        assert (
+            WanFaultModel(loss_rate=0.2, push_loss_rate=0.05).effective_push_loss_rate
+            == 0.05
+        )
+
+
+class TestCombinedLoss:
+    def test_composes_independent_loss_processes(self):
+        assert combined_loss() == 0.0
+        assert combined_loss(0.5) == 0.5
+        assert combined_loss(0.5, 0.5) == pytest.approx(0.75)
+        assert combined_loss(0.1, 0.0, 0.2) == pytest.approx(1 - 0.9 * 0.8)
+
+    def test_rejects_out_of_range_rates(self):
+        with pytest.raises(FleetError):
+            combined_loss(1.5)
+        with pytest.raises(FleetError):
+            combined_loss(0.2, -0.1)
+
+
+class TestSampleTransfer:
+    MODEL = WanFaultModel(
+        loss_rate=0.5, max_retries=2, backoff_seconds=4.0, backoff_factor=2.0, seed=0
+    )
+
+    def test_first_attempt_success_makes_one_draw_and_no_failures(self):
+        rng = _ScriptedRng([0.9])
+        outcome = sample_transfer(
+            rng, departed=100.0, transfer_seconds=30.0, loss_rate=0.5, model=self.MODEL
+        )
+        assert outcome.delivered
+        assert outcome.arrival == outcome.ends_at == 130.0
+        assert outcome.failures == ()
+        assert outcome.retries == 0
+        assert outcome.wasted_seconds == 0.0
+        assert rng.draws_left == 0
+
+    def test_retry_chain_pays_transfer_plus_exponential_backoff(self):
+        # fail, fail, succeed: attempt 1 at 100..130 (backoff 4), attempt 2
+        # at 134..164 (backoff 8), attempt 3 at 172..202 arrives.
+        rng = _ScriptedRng([0.1, 0.1, 0.9])
+        outcome = sample_transfer(
+            rng, departed=100.0, transfer_seconds=30.0, loss_rate=0.5, model=self.MODEL
+        )
+        assert outcome.delivered
+        assert outcome.arrival == pytest.approx(202.0)
+        assert [f.failed_at for f in outcome.failures] == [130.0, 164.0]
+        assert [f.attempt for f in outcome.failures] == [1, 2]
+        assert [f.wasted_seconds for f in outcome.failures] == [34.0, 38.0]
+        assert not any(f.final for f in outcome.failures)
+        assert outcome.retries == 2
+
+    def test_exhausted_budget_gives_up_with_final_failure(self):
+        rng = _ScriptedRng([0.1, 0.1, 0.1])
+        outcome = sample_transfer(
+            rng, departed=0.0, transfer_seconds=10.0, loss_rate=0.5, model=self.MODEL
+        )
+        assert not outcome.delivered
+        assert outcome.arrival is None
+        # attempts: 0..10 (backoff 4), 14..24 (backoff 8), 32..42 give-up.
+        assert outcome.ends_at == pytest.approx(42.0)
+        assert [f.failed_at for f in outcome.failures] == [10.0, 24.0, 42.0]
+        assert outcome.failures[-1].final
+        # The final failure pays no backoff: nothing follows it.
+        assert outcome.failures[-1].wasted_seconds == pytest.approx(10.0)
+        assert outcome.retries == 2  # the give-up is not a retry
+
+    def test_zero_retries_model_gives_up_on_first_loss(self):
+        model = WanFaultModel(loss_rate=0.5, max_retries=0, seed=0)
+        outcome = sample_transfer(
+            _ScriptedRng([0.0]), departed=5.0, transfer_seconds=7.0, loss_rate=0.5,
+            model=model,
+        )
+        assert not outcome.delivered
+        assert outcome.ends_at == 12.0
+        assert outcome.failures[0].final
+
+    def test_rejects_negative_transfer_seconds(self):
+        with pytest.raises(FleetError):
+            sample_transfer(
+                _ScriptedRng([0.9]), departed=0.0, transfer_seconds=-1.0,
+                loss_rate=0.0, model=self.MODEL,
+            )
+
+
+class TestNetworkLinkLossRate:
+    def test_default_is_lossless_and_scaling_preserves_loss(self):
+        link = NetworkLink(
+            name="lossy", uplink_mbps=10.0, downlink_mbps=20.0, loss_rate=0.3
+        )
+        assert link.loss_rate == 0.3
+        assert link.scaled(0.5, 0.5).loss_rate == 0.3
+
+    def test_rejects_out_of_range_loss(self):
+        with pytest.raises(ConfigurationError):
+            NetworkLink(name="bad", uplink_mbps=1.0, downlink_mbps=1.0, loss_rate=1.0)
+        with pytest.raises(ConfigurationError):
+            NetworkLink(name="bad", uplink_mbps=1.0, downlink_mbps=1.0, loss_rate=-0.1)

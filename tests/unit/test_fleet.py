@@ -530,6 +530,9 @@ class TestFleetMetrics:
             "profiling_gpu_seconds_saved",
             "retrainings_cancelled",
             "reclaimed_gpu_seconds",
+            "transfers_failed",
+            "transfer_retries",
+            "retry_seconds",
             "wall_clock_seconds",
         }
 
