@@ -233,6 +233,7 @@ def emit_fleet_bench_json(
     path: Optional[Path] = None,
     heterogeneous: Optional[Dict] = None,
     profile_sharing: Optional[Dict] = None,
+    telemetry: Optional[Dict] = None,
 ) -> Path:
     """Append one timestamped entry to the ``BENCH_fleet.json`` trajectory."""
     entry: Dict = {"scaling": scaling}
@@ -242,6 +243,8 @@ def emit_fleet_bench_json(
         entry["heterogeneous"] = heterogeneous
     if profile_sharing is not None:
         entry["profile_sharing"] = profile_sharing
+    if telemetry is not None:
+        entry["telemetry"] = telemetry
     return append_trajectory(path if path is not None else BENCH_FLEET_JSON_PATH, entry)
 
 

@@ -36,6 +36,7 @@ import os
 import sys
 from pathlib import Path
 
+from bench_telemetry import check_quick_telemetry_bound, measure_telemetry_scaling
 from fleet_bench_core import (
     BENCH_FLEET_JSON_PATH,
     FLEET_BASELINE_PATH,
@@ -215,12 +216,23 @@ def main(argv=None) -> int:
             f"accuracy on/off {sharing['mean_accuracy_sharing_on']:.4f}/"
             f"{sharing['mean_accuracy_sharing_off']:.4f}"
         )
+        print("measuring telemetry footprint (16 sites x 400 streams, 3 vs 30 windows)...")
+        telemetry = measure_telemetry_scaling()
+        for point in telemetry["points"]:
+            print(
+                f"  {point['num_windows']:3d} windows: "
+                f"{point['telemetry_bytes'] / 1024:7.0f} KiB telemetry | "
+                f"{point['events_recorded']} events | "
+                f"ring {point['ring_occupancy']}/{point['ring_capacity']}"
+            )
+        print(f"  footprint growth ratio {telemetry['footprint_growth_ratio']:.3f}x")
         fleet_path = emit_fleet_bench_json(
             fleet_scaling,
             scenario,
             args.fleet_output,
             heterogeneous=heterogeneous,
             profile_sharing=sharing,
+            telemetry=telemetry,
         )
         print(f"fleet trajectory appended to {fleet_path}")
 
@@ -252,6 +264,12 @@ def main(argv=None) -> int:
                 fleet_scaling, fleet_baseline, compare_wall_clock=compare_raw
             )
         )
+    if args.quick:
+        # The telemetry plane's memory bound is cheap enough to gate on
+        # every quick run: the committed quick shape must stay flat across
+        # window counts and under the absolute byte bound.
+        print("checking telemetry memory bound against the committed baseline...")
+        failures.extend(check_quick_telemetry_bound())
     if failures:
         print("REGRESSION DETECTED:")
         for message in failures:

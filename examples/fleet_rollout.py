@@ -175,7 +175,8 @@ def main() -> None:
         events=[SiteFailure(at_seconds=210.0, site="site-0", recovery_at=800.0)]
     )
     preemptive_sim = FleetSimulator(preemptive, outage)
-    preemptive_summary = preemptive_sim.run_until(1000.0).summary()
+    preemptive_result = preemptive_sim.run_until(1000.0)
+    preemptive_summary = preemptive_result.summary()
     print(
         f"\nPreemptive sites (failure at t=210 s, mid-window): "
         f"{preemptive_summary['retrainings_cancelled']} in-flight retrainings "
@@ -186,6 +187,14 @@ def main() -> None:
     for event in preemptive_sim.event_trace:
         if 200.0 <= event.time <= 270.0:
             print(f"  {event.describe()}")
+
+    # ---------------------------------------------------- Prometheus export
+    # Every summary key of the preemption run, rendered as the Prometheus
+    # text format by the telemetry plane (scripts/export_metrics.py is the
+    # standalone CLI for this exposition).
+    print("\nPrometheus exposition of the preemption run:")
+    for line in preemptive_sim.telemetry.export_text(preemptive_result).splitlines():
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

@@ -49,13 +49,19 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
 
     failures = []
+    peak_bytes = 0
     for seed in range(args.seeds):
         report = run_chaos_trial(seed, intensity=args.intensity, quick=args.quick)
         status = "ok" if report.ok else "INVARIANT VIOLATED"
+        telemetry = report.telemetry
+        peak_bytes = max(peak_bytes, telemetry["telemetry_bytes"])
         print(
             f"seed {seed:3d}: {status}  events={report.num_fault_events:2d}  "
             f"transfers_failed={report.summary['transfers_failed']:3d}  "
-            f"mean_accuracy={report.summary['mean_accuracy']:.4f}"
+            f"mean_accuracy={report.summary['mean_accuracy']:.4f}  "
+            f"telemetry={telemetry['ring_occupancy']}/{telemetry['ring_capacity']} "
+            f"ring, {telemetry['events_dropped']} dropped, "
+            f"{telemetry['telemetry_bytes'] / 1024:.0f} KiB"
         )
         for violation in report.violations:
             print(f"    - {violation}")
@@ -69,7 +75,10 @@ def main(argv=None) -> int:
     if failures:
         print(f"\n{len(failures)} chaos failure(s)", file=sys.stderr)
         return 1
-    print(f"\nall {args.seeds} seeds passed (first {DETERMINISM_SEEDS} replayed bit-identically)")
+    print(
+        f"\nall {args.seeds} seeds passed (first {DETERMINISM_SEEDS} replayed "
+        f"bit-identically); peak telemetry footprint {peak_bytes / 1024:.0f} KiB"
+    )
     return 0
 
 

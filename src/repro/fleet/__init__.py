@@ -101,6 +101,16 @@ New capabilities, opted into explicitly:
   ``retry_seconds`` in :meth:`FleetResult.summary`.  The seeded chaos
   harness in :mod:`repro.fleet.chaos` composes both into replayable fault
   schedules and checks fleet-wide invariants across seed sweeps.
+* **Bounded-memory telemetry**: every simulator writes into a
+  :class:`TelemetryPlane` — a fixed-size numpy ring of event envelopes
+  (``event_trace`` is decoded from it on demand and served cached),
+  adaptively sampled per-stream accuracy series with exact count/mean/p10
+  sketches, and one packed structured array holding every (site, window)
+  counter row.  ``make_fleet(..., telemetry=TelemetryConfig(...))`` sizes
+  it; :meth:`TelemetryPlane.export_text` renders a run's summary as a
+  Prometheus-style text exposition (``scripts/export_metrics.py``).
+  Surfaced as ``telemetry_events_dropped`` / ``telemetry_sampled_streams``
+  / ``telemetry_ring_occupancy`` in :meth:`FleetResult.summary`.
 """
 
 from .admission import (
@@ -151,8 +161,17 @@ from .scenarios import (
     SiteFailure,
     WanDegradation,
 )
+from .export import METRIC_PREFIX, render_prometheus
 from .simulator import FleetSimulator
 from .site import EdgeSite, SiteSpec
+from .telemetry import (
+    AdaptiveStreamSampler,
+    EventRing,
+    P2Quantile,
+    SiteStatsTable,
+    TelemetryConfig,
+    TelemetryPlane,
+)
 
 __all__ = [
     "AccuracyGreedyAdmission",
@@ -188,6 +207,14 @@ __all__ = [
     "FleetWindowResult",
     "SiteWindowStats",
     "gpu_utilization",
+    "METRIC_PREFIX",
+    "render_prometheus",
+    "AdaptiveStreamSampler",
+    "EventRing",
+    "P2Quantile",
+    "SiteStatsTable",
+    "TelemetryConfig",
+    "TelemetryPlane",
     "WanFaultModel",
     "combined_loss",
     "PROFILE_SIZE_MBITS",

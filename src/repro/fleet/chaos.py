@@ -214,6 +214,10 @@ class ChaosReport:
     num_fault_events: int
     violations: Tuple[str, ...]
     summary: Dict[str, object] = field(hash=False)
+    #: Telemetry-plane memory accounting of the trial (ring occupancy, drop
+    #: counter, packed-storage bytes) — what ``scripts/run_chaos.py`` prints
+    #: per trial so chaos CI catches unbounded telemetry growth.
+    telemetry: Dict[str, int] = field(hash=False, default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -366,12 +370,29 @@ def run_chaos_trial(
     violations = check_invariants(
         controller, result, initial_streams=shape_sites * shape_streams
     )
+    plane = simulator.telemetry
+    # Telemetry accounting must stay exact under any fault schedule: the
+    # ring never reports more live envelopes than its capacity, and the
+    # drop counter is exactly the overflow beyond it.
+    if plane.ring_occupancy > plane.ring_capacity:
+        violations.append(
+            f"telemetry accounting: ring occupancy {plane.ring_occupancy} "
+            f"exceeds capacity {plane.ring_capacity}"
+        )
+    expected_drops = max(0, plane.events_recorded - plane.ring_capacity)
+    if plane.events_dropped != expected_drops:
+        violations.append(
+            f"telemetry accounting: {plane.events_dropped} events dropped, "
+            f"expected {expected_drops} "
+            f"({plane.events_recorded} recorded, capacity {plane.ring_capacity})"
+        )
     return ChaosReport(
         seed=seed,
         intensity=intensity,
         num_fault_events=len(scenario.events),
         violations=tuple(violations),
         summary=result.summary(),
+        telemetry=plane.memory_report(),
     )
 
 

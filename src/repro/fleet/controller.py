@@ -42,6 +42,7 @@ from .site import EdgeSite
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .factory import ProfileSharing
+    from .telemetry import TelemetryConfig
 
 
 class FleetController:
@@ -60,6 +61,7 @@ class FleetController:
         profile_sharing: Optional["ProfileSharing"] = None,
         preemptive_sites: bool = False,
         wan_faults: Optional[WanFaultModel] = None,
+        telemetry: Optional["TelemetryConfig"] = None,
         seed: int = 0,
     ) -> None:
         if not sites:
@@ -81,6 +83,7 @@ class FleetController:
         self._profile_sharing = profile_sharing
         self._preemptive_sites = preemptive_sites
         self._wan_faults = wan_faults
+        self._telemetry = telemetry
         self._departure_hook: Optional[Callable[[str, str, str], None]] = None
         self._seed = seed
         self._stream_site: Dict[str, str] = {}
@@ -143,6 +146,18 @@ class FleetController:
         drawn and the lossless engine is reproduced bit for bit.
         """
         return self._wan_faults
+
+    @property
+    def telemetry(self) -> Optional["TelemetryConfig"]:
+        """Telemetry-plane sizing for simulators built over this fleet.
+
+        Set by :func:`~repro.fleet.factory.make_fleet` when built with
+        ``telemetry=...``; ``None`` means the
+        :class:`~repro.fleet.simulator.FleetSimulator` uses the default
+        :class:`~repro.fleet.telemetry.TelemetryConfig` (sized so nothing
+        evicts at current benchmark scales).
+        """
+        return self._telemetry
 
     def set_departure_hook(
         self, hook: Optional[Callable[[str, str, str], None]]

@@ -1,0 +1,120 @@
+"""Prometheus-style text exposition of fleet run summaries.
+
+Renders :meth:`repro.fleet.metrics.FleetResult.summary` as the Prometheus
+text format (``# HELP`` / ``# TYPE`` / sample lines): every summary key
+becomes a metric named ``ekya_fleet_<key>``, so a scrape of the exposition
+carries the run's whole documented metric surface — the unit tests pin that
+coverage, and ``docs/telemetry.md`` documents the mapping.
+
+Three summary values are not plain gauges and get the conventional
+encodings:
+
+- ``admission_policy`` (a string) becomes an *info*-style gauge with the
+  value in a label: ``ekya_fleet_admission_policy_info{policy="..."} 1``.
+- ``migrations_by_reason`` (a dict) becomes one labelled counter sample per
+  reason: ``ekya_fleet_migrations_by_reason_total{reason="..."} n``.
+- Integer counters render without a decimal point; floats via ``repr`` so
+  the exposition round-trips the exact double.
+
+``scripts/export_metrics.py`` is the CLI wrapper that runs a small fleet
+and prints this exposition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+__all__ = ["METRIC_PREFIX", "render_prometheus"]
+
+#: Every exported metric name starts with this.
+METRIC_PREFIX = "ekya_fleet_"
+
+#: ``# HELP`` strings per summary key.  Keys absent here (a future summary
+#: addition) still export, with a generated placeholder help line — the
+#: exposition never silently drops a summary key.
+_HELP: Dict[str, str] = {
+    "admission_policy": "Admission policy the fleet ran (info-style gauge).",
+    "num_sites": "Edge sites in the fleet.",
+    "num_windows": "Simulation cycles covered by this run.",
+    "num_streams": "Peak streams served in any one cycle.",
+    "mean_accuracy": "Fleet mean accuracy over cycles and served streams.",
+    "p10_worst_stream_accuracy": "10th percentile of per-stream mean accuracies.",
+    "migration_count": "Cross-site stream migrations over the run.",
+    "total_migration_seconds": "Summed WAN transfer seconds of all migrations.",
+    "migrations_by_reason": "Migrations partitioned by trigger reason.",
+    "mean_utilization": "Mean per-site allocated-GPU fraction.",
+    "mean_allocation_loss": "Mean per-cycle GPU fraction lost to quantisation.",
+    "profiling_gpu_seconds": "GPU-seconds spent micro-profiling.",
+    "profiling_gpu_seconds_saved": "Profiling GPU-seconds saved by warm starts.",
+    "retrainings_cancelled": "In-flight retrainings cancelled mid-window.",
+    "reclaimed_gpu_seconds": "GPU-seconds reclaimed from cancelled retrainings.",
+    "transfers_failed": "WAN transfer attempts lost in flight.",
+    "transfer_retries": "Failed checkpoint transfers that were retried.",
+    "retry_seconds": "Wall-clock seconds lost to failed transfer attempts.",
+    "wall_clock_seconds": "Wall-clock seconds the fleet layer spent.",
+    "telemetry_events_dropped": "Events evicted from the telemetry event ring.",
+    "telemetry_sampled_streams": "Streams densely sampled in the latest window.",
+    "telemetry_ring_occupancy": "Live envelopes in the telemetry event ring.",
+}
+
+#: Summary keys that are monotone counts over the run (``counter`` type);
+#: everything else is exported as a ``gauge``.
+_COUNTERS = frozenset(
+    {
+        "migration_count",
+        "migrations_by_reason",
+        "retrainings_cancelled",
+        "transfers_failed",
+        "transfer_retries",
+        "telemetry_events_dropped",
+    }
+)
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _format_number(value) -> str:
+    if isinstance(value, bool):  # pragma: no cover - summaries carry no bools
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(summary: Mapping[str, object], *, prefix: str = METRIC_PREFIX) -> str:
+    """Render a ``FleetResult.summary()`` mapping as Prometheus text format.
+
+    Every key of ``summary`` produces a ``# HELP`` / ``# TYPE`` / sample
+    block named ``{prefix}{key}[...]`` — string values as ``_info`` gauges,
+    dict values as one labelled ``_total`` sample per entry (a ``# HELP``
+    block is emitted even when the dict is empty, so coverage of the key
+    set does not depend on what a particular run happened to do).
+    """
+    lines = []
+    for key, value in summary.items():
+        help_text = _HELP.get(key, f"Fleet summary key {key}.")
+        kind = "counter" if key in _COUNTERS else "gauge"
+        if isinstance(value, str):
+            name = f"{prefix}{key}_info"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            label = key.split("_")[-1]  # admission_policy -> policy="..."
+            lines.append(f'{name}{{{label}="{_escape_label(value)}"}} 1')
+        elif isinstance(value, Mapping):
+            name = f"{prefix}{key}_total"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            for label_value in sorted(value):
+                count = value[label_value]
+                lines.append(
+                    f'{name}{{reason="{_escape_label(str(label_value))}"}} '
+                    f"{_format_number(count)}"
+                )
+        else:
+            name = f"{prefix}{key}"
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} {kind}")
+            lines.append(f"{name} {_format_number(value)}")
+    return "\n".join(lines) + "\n"

@@ -36,6 +36,7 @@ from .controller import FleetController
 from .faults import WanFaultModel
 from .migration import PROFILE_SIZE_MBITS, MigrationCostModel
 from .site import EdgeSite, SiteSpec
+from .telemetry import TelemetryConfig
 
 #: Admission-policy names accepted by :func:`build_admission` / :func:`make_fleet`.
 ADMISSION_NAMES = ("least_loaded", "accuracy_greedy", "random")
@@ -108,6 +109,7 @@ def make_fleet(
     profile_decay_half_life: Optional[float] = None,
     preemptive_sites: bool = False,
     wan_faults: Optional[WanFaultModel] = None,
+    telemetry: Optional[TelemetryConfig] = None,
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -169,6 +171,14 @@ def make_fleet(
     ``retry_seconds`` in :meth:`FleetResult.summary`.  ``None`` (default)
     never draws the fault RNG: the lossless engine is reproduced bit for
     bit.
+
+    ``telemetry`` sizes the bounded-memory telemetry plane every
+    :class:`~repro.fleet.simulator.FleetSimulator` over this fleet writes
+    into (event-envelope ring capacity, per-stream series rings, adaptive
+    sampling knobs — see :class:`~repro.fleet.telemetry.TelemetryConfig`).
+    ``None`` (default) uses defaults sized so nothing is ever evicted at
+    current benchmark scales; telemetry is always on and changes no
+    observable result, only bounds memory.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -249,6 +259,7 @@ def make_fleet(
         profile_sharing=sharing,
         preemptive_sites=preemptive_sites,
         wan_faults=wan_faults,
+        telemetry=telemetry,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

@@ -14,13 +14,16 @@ quantisation loss, and migration count/cost.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..simulation.simulator import StreamWindowOutcome, WindowResult
 from ..utils.math_utils import safe_mean
 from .migration import MigrationEvent
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (telemetry imports us)
+    from .telemetry import SiteStatsView
 
 
 def gpu_utilization(total_gpu_allocated: float, num_gpus: int) -> float:
@@ -123,11 +126,23 @@ class FleetWindowResult:
     #: Absolute simulated time at which this cycle's windows started.
     start_seconds: float = 0.0
     site_results: Dict[str, WindowResult] = field(default_factory=dict)
-    site_stats: Dict[str, SiteWindowStats] = field(default_factory=dict)
     stream_outcomes: Dict[str, FleetStreamOutcome] = field(default_factory=dict)
     migrations: List[MigrationEvent] = field(default_factory=list)
     failed_sites: List[str] = field(default_factory=list)
     admitted_streams: List[str] = field(default_factory=list)
+    #: Backing view into the telemetry plane's packed stats table.  The
+    #: simulator links one row per (site, window) via
+    #: :meth:`repro.fleet.telemetry.TelemetryPlane.record_site_stats`; the
+    #: :attr:`site_stats` property materialises (and caches) the dataclass
+    #: mapping on demand, so the cycle itself holds no per-site objects.
+    stats_view: Optional["SiteStatsView"] = field(default=None, repr=False)
+
+    @property
+    def site_stats(self) -> Dict[str, SiteWindowStats]:
+        """Per-site operational stats of this cycle, keyed by site name."""
+        if self.stats_view is None:
+            return {}
+        return self.stats_view.as_dict()
 
     @property
     def mean_accuracy(self) -> float:
@@ -200,6 +215,14 @@ class FleetResult:
     windows: List[FleetWindowResult] = field(default_factory=list)
     #: Wall-clock the fleet layer spent (scheduling + simulation, all sites).
     wall_clock_seconds: float = 0.0
+    #: Events evicted from the telemetry plane's fixed-size event ring to
+    #: stay within its capacity (exact; 0 unless the ring overflowed).
+    telemetry_events_dropped: int = 0
+    #: Streams whose accuracy series received a dense (top-k mover) sample
+    #: in the latest simulated window.
+    telemetry_sampled_streams: int = 0
+    #: Live event envelopes held in the telemetry ring when the run ended.
+    telemetry_ring_occupancy: int = 0
 
     # ----------------------------------------------------------- accuracy
     @property
@@ -330,4 +353,7 @@ class FleetResult:
             "transfer_retries": self.transfer_retries,
             "retry_seconds": self.retry_seconds,
             "wall_clock_seconds": self.wall_clock_seconds,
+            "telemetry_events_dropped": self.telemetry_events_dropped,
+            "telemetry_sampled_streams": self.telemetry_sampled_streams,
+            "telemetry_ring_occupancy": self.telemetry_ring_occupancy,
         }

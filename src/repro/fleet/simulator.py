@@ -100,12 +100,12 @@ from .metrics import (
     FleetResult,
     FleetStreamOutcome,
     FleetWindowResult,
-    SiteWindowStats,
     gpu_utilization,
 )
 from .migration import MigrationEvent
 from .scenarios import FlashCrowd, GpuFailure, Scenario, SiteFailure, WanDegradation
 from .site import EdgeSite
+from .telemetry import TelemetryConfig, TelemetryPlane
 
 
 @dataclass
@@ -172,9 +172,17 @@ class FleetSimulator:
         control plane.  A positive value runs admission/rebalancing on its
         own cadence, so migrations can start mid-window.
     record_events:
-        Keep every processed event in :attr:`event_trace` (default).  Pass
-        ``False`` for very long horizons where the trace's linear memory
-        growth matters and nothing reads it.
+        Keep every processed event readable via :attr:`event_trace`
+        (default).  The trace is held in the telemetry plane's fixed-size
+        event ring — memory is bounded regardless — so ``False`` is only
+        needed when even the decode cost of reading the trace is unwanted.
+    telemetry:
+        Sizing of the bounded-memory telemetry plane: a
+        :class:`~repro.fleet.telemetry.TelemetryConfig` (or a prebuilt
+        :class:`~repro.fleet.telemetry.TelemetryPlane`, e.g. to share one
+        across restarts).  ``None`` uses the fleet controller's config
+        (``make_fleet(telemetry=...)``) or the defaults, which never evict
+        at current benchmark scales.
     """
 
     def __init__(
@@ -185,6 +193,7 @@ class FleetSimulator:
         clock: Optional[Clock] = None,
         control_interval: Optional[float] = None,
         record_events: bool = True,
+        telemetry: Optional[object] = None,
     ) -> None:
         if control_interval is not None and control_interval <= 0:
             raise FleetError("control_interval must be positive")
@@ -193,6 +202,17 @@ class FleetSimulator:
         self._clock = clock
         self._control_interval = control_interval
         self._record_events = record_events
+        if telemetry is None:
+            telemetry = controller.telemetry
+        if isinstance(telemetry, TelemetryPlane):
+            self._telemetry = telemetry
+        elif telemetry is None or isinstance(telemetry, TelemetryConfig):
+            self._telemetry = TelemetryPlane(telemetry)
+        else:
+            raise FleetError(
+                "telemetry must be a TelemetryConfig or TelemetryPlane, "
+                f"got {type(telemetry).__name__}"
+            )
         #: Event-driven site internals: plan windows at their boundary,
         #: settle retrainings at per-stream RetrainingComplete events and
         #: cancel in-flight retrainings when their stream departs.
@@ -249,7 +269,6 @@ class FleetSimulator:
         self._last_emitted = -1
         #: Largest simulated horizon any run has covered (run_for's origin).
         self._horizon = 0.0
-        self._event_trace: List[SimEvent] = []
 
     # ------------------------------------------------------------- accessors
     @property
@@ -266,10 +285,18 @@ class FleetSimulator:
         return self._calendar.now if self._calendar is not None else 0.0
 
     @property
+    def telemetry(self) -> TelemetryPlane:
+        """The bounded-memory telemetry plane this simulator writes into."""
+        return self._telemetry
+
+    @property
     def event_trace(self) -> Sequence[SimEvent]:
-        """Every event processed so far, in firing order (plus
-        :class:`~repro.fleet.calendar.MigrationStarted` markers)."""
-        return tuple(self._event_trace)
+        """Every recorded event still in the telemetry ring, in firing
+        order (plus :class:`~repro.fleet.calendar.MigrationStarted`
+        markers).  Served as a cached immutable tuple — repeated reads
+        between events are O(1), and the same object is returned until a
+        new event is recorded."""
+        return self._telemetry.events()
 
     # -------------------------------------------------------------- execution
     def run(self, num_windows: int, *, start_window: int = 0) -> FleetResult:
@@ -287,6 +314,7 @@ class FleetSimulator:
         for window_index in range(start_window, start_window + num_windows):
             result.windows.append(self.run_window(window_index))
         result.wall_clock_seconds = watch.elapsed()
+        self._telemetry.annotate(result)
         return result
 
     def run_window(self, window_index: int) -> FleetWindowResult:
@@ -344,6 +372,7 @@ class FleetSimulator:
         result = self._new_result()
         result.windows.extend(self._drain_unemitted())
         result.wall_clock_seconds = watch.elapsed()
+        self._telemetry.annotate(result)
         return result
 
     def _drain_unemitted(self) -> List[FleetWindowResult]:
@@ -450,7 +479,7 @@ class FleetSimulator:
                 self._open_cycle(time)
             event = calendar.pop()
             if self._record_events:
-                self._event_trace.append(event)
+                self._telemetry.record_event(event)
             self._dispatch(event)
         if self._preemptive:
             for name in sorted(self._open_windows):
@@ -627,16 +656,19 @@ class FleetSimulator:
         profiling_cost, profiling_saved = self._share_profiles(site, boundary)
         failed, retries, wasted = self._pop_fault_counters(site.name)
         cycle.site_results[site.name] = window_result
-        cycle.site_stats[site.name] = SiteWindowStats(
+        accuracies = {
+            name: outcome.realized_average_accuracy
+            for name, outcome in window_result.outcomes.items()
+        }
+        self._telemetry.record_site_stats(
+            cycle,
             site=site.name,
             num_streams=site.num_streams,
             utilization=gpu_utilization(
                 window_result.schedule.total_gpu_allocated, site.spec.num_gpus
             ),
             allocation_loss=window_result.allocation_loss,
-            mean_accuracy=safe_mean(
-                [o.realized_average_accuracy for o in window_result.outcomes.values()]
-            ),
+            mean_accuracy=safe_mean(list(accuracies.values())),
             scheduler_runtime_seconds=window_result.schedule.scheduler_runtime_seconds,
             profiling_gpu_seconds=profiling_cost,
             profiling_gpu_seconds_saved=profiling_saved,
@@ -644,6 +676,7 @@ class FleetSimulator:
             transfer_retries=retries,
             retry_seconds=wasted,
         )
+        self._telemetry.observe_streams(boundary.window_index, accuracies)
         for name, outcome in window_result.outcomes.items():
             cycle.stream_outcomes[name] = FleetStreamOutcome(
                 stream_name=name,
@@ -942,16 +975,19 @@ class FleetSimulator:
         cost, saved = open_window.profiling
         failed, retries, wasted = self._pop_fault_counters(site_name)
         open_window.cycle.site_results[site_name] = result
-        open_window.cycle.site_stats[site_name] = SiteWindowStats(
+        accuracies = {
+            name: outcome.realized_average_accuracy
+            for name, outcome in result.outcomes.items()
+        }
+        self._telemetry.record_site_stats(
+            open_window.cycle,
             site=site_name,
             num_streams=len(plan.streams),
             utilization=gpu_utilization(
                 result.schedule.total_gpu_allocated, site.spec.num_gpus
             ),
             allocation_loss=result.allocation_loss,
-            mean_accuracy=safe_mean(
-                [o.realized_average_accuracy for o in result.outcomes.values()]
-            ),
+            mean_accuracy=safe_mean(list(accuracies.values())),
             scheduler_runtime_seconds=result.schedule.scheduler_runtime_seconds,
             profiling_gpu_seconds=cost,
             profiling_gpu_seconds_saved=saved,
@@ -961,6 +997,7 @@ class FleetSimulator:
             transfer_retries=retries,
             retry_seconds=wasted,
         )
+        self._telemetry.observe_streams(open_window.window_index, accuracies)
 
     # ------------------------------------------------------- profile sharing
     def _share_profiles(self, site: EdgeSite, boundary: WindowBoundary):
@@ -1025,7 +1062,9 @@ class FleetSimulator:
             cycle.migrations.append(event)
             self._migrated_into.setdefault(event.stream_name, []).append(event)
             if self._record_events:
-                self._event_trace.append(MigrationStarted(time=time, migration=event))
+                self._telemetry.record_event(
+                    MigrationStarted(time=time, migration=event)
+                )
             departed = max(self._transfer_arrival.get(event.stream_name, time), time)
             if self._wan_faults is None:
                 arrival = departed + event.transfer_seconds

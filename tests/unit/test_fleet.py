@@ -534,6 +534,9 @@ class TestFleetMetrics:
             "transfer_retries",
             "retry_seconds",
             "wall_clock_seconds",
+            "telemetry_events_dropped",
+            "telemetry_sampled_streams",
+            "telemetry_ring_occupancy",
         }
 
 
