@@ -234,6 +234,7 @@ def emit_fleet_bench_json(
     heterogeneous: Optional[Dict] = None,
     profile_sharing: Optional[Dict] = None,
     telemetry: Optional[Dict] = None,
+    policy: Optional[Dict] = None,
 ) -> Path:
     """Append one timestamped entry to the ``BENCH_fleet.json`` trajectory."""
     entry: Dict = {"scaling": scaling}
@@ -245,6 +246,8 @@ def emit_fleet_bench_json(
         entry["profile_sharing"] = profile_sharing
     if telemetry is not None:
         entry["telemetry"] = telemetry
+    if policy is not None:
+        entry["policy"] = policy
     return append_trajectory(path if path is not None else BENCH_FLEET_JSON_PATH, entry)
 
 

@@ -20,8 +20,12 @@ comparable to the machine the baselines were recorded on.
 ``--quick`` runs the scheduler operating point plus an exact sharing-off
 fleet parity check (the smallest baseline site count, compared bit for bit
 against ``fleet_baseline.json`` — proving ``make_fleet``'s cross-site
-profile sharing stays strictly opt-in), skipping the scaling sweeps — the
-smoke mode CI uses on every PR.
+profile sharing stays strictly opt-in), the telemetry memory bound, and
+the control-policy gate (the default greedy arm of the cheapest reference
+scenario must reproduce ``policy_baseline.json`` bit for bit, and the
+predictive arm must not regress the fleet mean below greedy on the same
+calendar), skipping the scaling sweeps — the smoke mode CI uses on every
+PR.
 
 Usage::
 
@@ -36,6 +40,12 @@ import os
 import sys
 from pathlib import Path
 
+from bench_policy import (
+    check_policy_against_baseline,
+    check_quick_policy_gate,
+    load_policy_baseline,
+    measure_policy_ab,
+)
 from bench_telemetry import check_quick_telemetry_bound, measure_telemetry_scaling
 from fleet_bench_core import (
     BENCH_FLEET_JSON_PATH,
@@ -226,6 +236,20 @@ def main(argv=None) -> int:
                 f"ring {point['ring_occupancy']}/{point['ring_capacity']}"
             )
         print(f"  footprint growth ratio {telemetry['footprint_growth_ratio']:.3f}x")
+        print("measuring control-policy A/B (greedy vs predictive, 3 scenarios)...")
+        policy = measure_policy_ab()
+        for row in policy["scenarios"]:
+            print(
+                f"  {row['scenario']:16s} "
+                f"p10 {row['greedy']['p10_worst_stream_accuracy']:.4f} -> "
+                f"{row['predictive']['p10_worst_stream_accuracy']:.4f} | "
+                f"wasted {row['greedy']['wasted_gpu_seconds']:7.2f} -> "
+                f"{row['predictive']['wasted_gpu_seconds']:7.2f} GPU-s"
+            )
+        print(
+            f"  predictive wins {policy['predictive_wins']} of "
+            f"{policy['num_scenarios']} scenarios"
+        )
         fleet_path = emit_fleet_bench_json(
             fleet_scaling,
             scenario,
@@ -233,6 +257,7 @@ def main(argv=None) -> int:
             heterogeneous=heterogeneous,
             profile_sharing=sharing,
             telemetry=telemetry,
+            policy=policy,
         )
         print(f"fleet trajectory appended to {fleet_path}")
 
@@ -270,6 +295,17 @@ def main(argv=None) -> int:
         # window counts and under the absolute byte bound.
         print("checking telemetry memory bound against the committed baseline...")
         failures.extend(check_quick_telemetry_bound())
+        # And the control-policy plane: the default greedy arm must match
+        # the committed baseline bit for bit, and the predictive arm must
+        # not regress the fleet mean below greedy on the same calendar.
+        print("checking control-policy gate against the committed baseline...")
+        failures.extend(check_quick_policy_gate())
+    else:
+        policy_baseline = load_policy_baseline()
+        if policy_baseline is None:
+            print("no committed policy baseline; skipping the policy gate")
+        else:
+            failures.extend(check_policy_against_baseline(policy, policy_baseline))
     if failures:
         print("REGRESSION DETECTED:")
         for message in failures:

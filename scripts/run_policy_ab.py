@@ -1,0 +1,143 @@
+#!/usr/bin/env python
+"""A/B-compare control policies on identical seeded scenario calendars.
+
+Replays each reference scenario of :mod:`repro.fleet.policy.ab` — flash
+crowd, WAN degradation, GPU flaps — under both the default greedy
+rebalancer and the predictive profit policy, holding the fleet shape,
+seeds and event calendar fixed, then prints the per-scenario comparison
+(fleet mean, p10 worst-stream accuracy, wasted GPU-seconds, migration
+cost).  With ``--chaos`` it additionally sweeps the seeded fault model
+under both policies, checking every fleet invariant per arm.  Typical
+runs::
+
+    PYTHONPATH=src python scripts/run_policy_ab.py
+    PYTHONPATH=src python scripts/run_policy_ab.py --chaos-seeds 10 --json out.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.fleet.chaos import run_chaos_trial  # noqa: E402
+from repro.fleet.policy.ab import (  # noqa: E402
+    COMPARED_METRICS,
+    reference_scenarios,
+    run_policy_ab,
+)
+
+#: Column widths for the comparison table.
+_METRIC_WIDTH = max(len(metric) for metric in COMPARED_METRICS)
+
+
+def _print_comparison(comparison) -> None:
+    print(f"\n{comparison.scenario}")
+    header = f"  {'metric':{_METRIC_WIDTH}s} {'greedy':>12s} {'predictive':>12s} {'delta':>10s}"
+    print(header)
+    deltas = comparison.deltas
+    for metric in COMPARED_METRICS:
+        print(
+            f"  {metric:{_METRIC_WIDTH}s} "
+            f"{comparison.greedy.metrics[metric]:12.4f} "
+            f"{comparison.predictive.metrics[metric]:12.4f} "
+            f"{deltas[metric]:+10.4f}"
+        )
+    verdict = "predictive wins" if comparison.predictive_wins else "tie / greedy holds"
+    print(f"  -> {verdict} (win = p10 up AND wasted GPU-seconds down)")
+
+
+def _chaos_sweep(num_seeds: int, quick: bool) -> list:
+    """Run the fault model under both policies; returns failure strings."""
+    failures = []
+    print(f"\nchaos sweep: {num_seeds} seeds x (greedy, predictive)")
+    for policy in ("greedy", "predictive"):
+        for seed in range(num_seeds):
+            report = run_chaos_trial(seed, quick=quick, control_policy=policy)
+            status = "ok" if report.ok else "INVARIANT VIOLATED"
+            print(
+                f"  {policy:10s} seed {seed:3d}: {status}  "
+                f"events={report.num_fault_events:2d}  "
+                f"mean_accuracy={report.summary['mean_accuracy']:.4f}  "
+                f"wasted={report.summary['wasted_gpu_seconds']:.2f}"
+            )
+            for violation in report.violations:
+                print(f"      - {violation}")
+                failures.append(f"{policy} seed {seed}: {violation}")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--scenario",
+        action="append",
+        help="run only this reference scenario (repeatable; default: all)",
+    )
+    parser.add_argument(
+        "--chaos-seeds",
+        type=int,
+        default=0,
+        help="also sweep N chaos seeds under both policies (default 0 = off)",
+    )
+    parser.add_argument(
+        "--quick-chaos",
+        action="store_true",
+        help="use the small chaos fleet shape for the --chaos-seeds sweep",
+    )
+    parser.add_argument(
+        "--json", type=Path, default=None, help="write the A/B table to this JSON file"
+    )
+    args = parser.parse_args(argv)
+
+    specs = reference_scenarios()
+    if args.scenario:
+        known = {spec.name for spec in specs}
+        unknown = sorted(set(args.scenario) - known)
+        if unknown:
+            parser.error(
+                f"unknown scenario(s) {', '.join(unknown)}; "
+                f"choose from {', '.join(sorted(known))}"
+            )
+        specs = [spec for spec in specs if spec.name in set(args.scenario)]
+
+    comparisons = run_policy_ab(specs)
+    for comparison in comparisons:
+        _print_comparison(comparison)
+    wins = sum(comparison.predictive_wins for comparison in comparisons)
+    print(f"\npredictive wins {wins} of {len(comparisons)} scenario(s)")
+
+    failures = []
+    if args.chaos_seeds > 0:
+        failures = _chaos_sweep(args.chaos_seeds, args.quick_chaos)
+
+    if args.json is not None:
+        payload = {
+            "scenarios": [
+                {
+                    "scenario": comparison.scenario,
+                    "greedy": dict(comparison.greedy.metrics),
+                    "predictive": dict(comparison.predictive.metrics),
+                    "deltas": comparison.deltas,
+                    "predictive_wins": comparison.predictive_wins,
+                }
+                for comparison in comparisons
+            ],
+            "predictive_wins": wins,
+            "num_scenarios": len(comparisons),
+        }
+        args.json.write_text(json.dumps(payload, indent=2) + "\n")
+        print(f"A/B table written to {args.json}")
+
+    if failures:
+        print(f"\n{len(failures)} chaos failure(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -101,6 +101,21 @@ New capabilities, opted into explicitly:
   ``retry_seconds`` in :meth:`FleetResult.summary`.  The seeded chaos
   harness in :mod:`repro.fleet.chaos` composes both into replayable fault
   schedules and checks fleet-wide invariants across seed sweeps.
+* **Pluggable control policies**: ``make_fleet(...,
+  control_policy="predictive")`` swaps what runs at every
+  :class:`ControlTick`.  The default :class:`~repro.fleet.policy.
+  GreedyRebalancePolicy` reproduces the pre-policy load rebalancer bit for
+  bit (and skips provably no-op scans); the :class:`~repro.fleet.policy.
+  PredictiveProfitPolicy` migrates on predicted net accuracy profit —
+  expected gain net of WAN transfer cost under the current link and of the
+  GPU-seconds a mid-window cancellation would waste — avoids
+  transfer-congested destinations, and proactively cancels retrainings
+  that no longer pay on preemptive sites.  Surfaced as ``control_policy``
+  / ``control_scans_skipped`` / ``migrations_rejected`` /
+  ``proactive_cancellations`` / ``wasted_gpu_seconds`` in
+  :meth:`FleetResult.summary`; ``scripts/run_policy_ab.py`` replays
+  identical seeded calendars under both policies (see
+  ``docs/control_plane.md``).
 * **Bounded-memory telemetry**: every simulator writes into a
   :class:`TelemetryPlane` — a fixed-size numpy ring of event envelopes
   (``event_trace`` is decoded from it on demand and served cached),
@@ -140,8 +155,10 @@ from .controller import FleetController
 from .factory import (
     ADMISSION_NAMES,
     DEFAULT_SHARED_MAX_CONFIGS,
+    POLICY_NAMES,
     ProfileSharing,
     build_admission,
+    build_policy,
     make_fleet,
 )
 from .faults import WanFaultModel, combined_loss
@@ -161,7 +178,19 @@ from .scenarios import (
     SiteFailure,
     WanDegradation,
 )
-from .export import METRIC_PREFIX, render_prometheus
+from .export import (
+    ACCURACY_HISTOGRAM_BUCKETS,
+    METRIC_PREFIX,
+    render_accuracy_histogram,
+    render_prometheus,
+)
+from .policy import (
+    ControlPolicy,
+    ControlSignals,
+    GreedyRebalancePolicy,
+    InflightRetraining,
+    PredictiveProfitPolicy,
+)
 from .simulator import FleetSimulator
 from .site import EdgeSite, SiteSpec
 from .telemetry import (
@@ -199,15 +228,24 @@ __all__ = [
     "FleetController",
     "ADMISSION_NAMES",
     "DEFAULT_SHARED_MAX_CONFIGS",
+    "POLICY_NAMES",
     "ProfileSharing",
     "build_admission",
+    "build_policy",
     "make_fleet",
+    "ControlPolicy",
+    "ControlSignals",
+    "GreedyRebalancePolicy",
+    "InflightRetraining",
+    "PredictiveProfitPolicy",
     "FleetResult",
     "FleetStreamOutcome",
     "FleetWindowResult",
     "SiteWindowStats",
     "gpu_utilization",
+    "ACCURACY_HISTOGRAM_BUCKETS",
     "METRIC_PREFIX",
+    "render_accuracy_histogram",
     "render_prometheus",
     "AdaptiveStreamSampler",
     "EventRing",

@@ -128,12 +128,41 @@ class AccuracyGreedyAdmission(AdmissionPolicy):
             return None
         return self._shared_profiles.best_candidate(stream_profile_key(stream))
 
-    def score(self, stream: VideoStream, site: EdgeSite, window_index: int) -> float:
-        """Estimated window-average accuracy of ``stream`` if admitted to ``site``."""
-        return self._score(stream, site, window_index, self._best_shared_candidate(stream))
+    def score(
+        self,
+        stream: VideoStream,
+        site: EdgeSite,
+        window_index: int,
+        *,
+        already_placed: bool = False,
+    ) -> float:
+        """Estimated window-average accuracy of ``stream`` if admitted to ``site``.
 
-    def _score(self, stream: VideoStream, site: EdgeSite, window_index: int, candidate) -> float:
-        share = site.spec.num_gpus / (site.num_streams + 1)
+        With ``already_placed`` the stream is assumed to be one of the
+        site's *current* occupants (no ``+1`` headcount handicap) — the
+        predictive control policy uses this to score a migration candidate's
+        status quo at its source site with the same yardstick as the
+        destination estimate.
+        """
+        return self._score(
+            stream,
+            site,
+            window_index,
+            self._best_shared_candidate(stream),
+            already_placed=already_placed,
+        )
+
+    def _score(
+        self,
+        stream: VideoStream,
+        site: EdgeSite,
+        window_index: int,
+        candidate,
+        *,
+        already_placed: bool = False,
+    ) -> float:
+        occupants = site.num_streams if already_placed else site.num_streams + 1
+        share = site.spec.num_gpus / max(occupants, 1)
         start = clamp(self._dynamics.start_accuracy(stream, window_index))
         if candidate is not None:
             _, gpu_seconds, post_accuracy = candidate

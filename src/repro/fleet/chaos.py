@@ -294,6 +294,7 @@ def check_invariants(
                 ("utilization", stats.utilization),
                 ("profiling_gpu_seconds", stats.profiling_gpu_seconds),
                 ("reclaimed_gpu_seconds", stats.reclaimed_gpu_seconds),
+                ("wasted_gpu_seconds", stats.wasted_gpu_seconds),
             ):
                 if not math.isfinite(value) or value < 0:
                     violations.append(
@@ -331,6 +332,7 @@ def run_chaos_trial(
     gpus_per_site: int = 4,
     preemptive_sites: bool = True,
     profile_sharing: bool = True,
+    control_policy: str = "greedy",
 ) -> ChaosReport:
     """Run one seeded chaos schedule end to end and check the invariants.
 
@@ -358,6 +360,7 @@ def run_chaos_trial(
         preemptive_sites=preemptive_sites,
         profile_sharing=profile_sharing,
         wan_faults=injector.wan_faults(),
+        control_policy=control_policy,
     )
     scenario = injector.compile(
         [site.name for site in controller.sites],

@@ -8,10 +8,14 @@ scheduler keeps optimising its own window locally.  Responsibilities:
   on a healthy site by the pluggable
   :class:`~repro.fleet.admission.AdmissionPolicy`.
 * **Rebalancing** — at the simulator's control ticks (window boundaries by
-  default, or an independent cadence mid-window), streams migrate from
+  default, or an independent cadence mid-window), the controller delegates
+  to its pluggable :class:`~repro.fleet.policy.ControlPolicy`.  The default
+  :class:`~repro.fleet.policy.GreedyRebalancePolicy` migrates streams from
   overloaded sites (streams-per-GPU above ``overload_factor`` × the fleet
   mean) to the least-loaded healthy site, paying the WAN transfer cost of
-  their model checkpoint + profile.
+  their model checkpoint + profile; the
+  :class:`~repro.fleet.policy.PredictiveProfitPolicy` instead acts on
+  predicted net accuracy profit (see ``docs/control_plane.md``).
 * **Failure handling** — a failed site's streams are force-evacuated to the
   survivors; a recovered site re-enters admission and rebalancing.
 * **Mid-window preemption** (``preemptive_sites=True``) — every migration
@@ -38,6 +42,8 @@ from ..profiles.dynamics import StreamDynamics
 from .admission import AdmissionPolicy
 from .faults import WanFaultModel
 from .migration import MigrationCostModel, MigrationEvent
+from .policy.base import ControlPolicy, ControlSignals
+from .policy.greedy import GreedyRebalancePolicy
 from .site import EdgeSite
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
@@ -62,6 +68,7 @@ class FleetController:
         preemptive_sites: bool = False,
         wan_faults: Optional[WanFaultModel] = None,
         telemetry: Optional["TelemetryConfig"] = None,
+        control_policy: Optional[ControlPolicy] = None,
         seed: int = 0,
     ) -> None:
         if not sites:
@@ -84,10 +91,21 @@ class FleetController:
         self._preemptive_sites = preemptive_sites
         self._wan_faults = wan_faults
         self._telemetry = telemetry
+        self._control_policy = (
+            control_policy if control_policy is not None else GreedyRebalancePolicy()
+        )
         self._departure_hook: Optional[Callable[[str, str, str], None]] = None
+        self._cancellation_hook: Optional[Callable[[str, str, str], bool]] = None
         self._seed = seed
         self._stream_site: Dict[str, str] = {}
         self._next_index: Dict[str, int] = {}
+        #: Control-plane counters surfaced in ``FleetResult.summary()``.
+        #: Policies mutate these directly (in-package trusted).
+        self.control_counters: Dict[str, int] = {
+            "control_scans_skipped": 0,
+            "migrations_rejected": 0,
+            "proactive_cancellations": 0,
+        }
 
     # ------------------------------------------------------------- accessors
     @property
@@ -109,6 +127,19 @@ class FleetController:
     @property
     def migration_cost(self) -> MigrationCostModel:
         return self._migration_cost
+
+    @property
+    def control_policy(self) -> ControlPolicy:
+        """The policy :meth:`rebalance` delegates to (default: greedy)."""
+        return self._control_policy
+
+    @property
+    def overload_factor(self) -> float:
+        return self._overload_factor
+
+    @property
+    def max_migrations_per_window(self) -> int:
+        return self._max_migrations
 
     @property
     def profile_sharing(self) -> Optional["ProfileSharing"]:
@@ -172,6 +203,38 @@ class FleetController:
         GPU-seconds.  Pass ``None`` to detach.
         """
         self._departure_hook = hook
+
+    def set_cancellation_hook(
+        self, hook: Optional[Callable[[str, str, str], bool]]
+    ) -> None:
+        """Install the proactive-cancellation channel (the fleet simulator).
+
+        ``hook(site_name, stream_name, reason) -> bool`` cancels the named
+        stream's in-flight retraining at the site, reclaiming its remaining
+        GPU-seconds for the site's other in-flight retrainings, and returns
+        whether anything was actually cancelled.  Installed only by
+        preemptive simulators; without it
+        :meth:`request_cancellation` is a no-op.  Pass ``None`` to detach.
+        """
+        self._cancellation_hook = hook
+
+    def request_cancellation(
+        self, site_name: str, stream_name: str, reason: str = "proactive_cancellation"
+    ) -> bool:
+        """Ask the simulator to cancel one in-flight retraining.
+
+        The channel control policies use to reclaim GPU-seconds from
+        retrainings that no longer pay.  Returns ``True`` (and counts a
+        ``proactive_cancellation``) only when a retraining was actually in
+        flight and got cancelled; returns ``False`` when no simulator hook
+        is installed or the stream had nothing in flight.
+        """
+        if self._cancellation_hook is None:
+            return False
+        cancelled = self._cancellation_hook(site_name, stream_name, reason)
+        if cancelled:
+            self.control_counters["proactive_cancellations"] += 1
+        return cancelled
 
     @property
     def homogeneous_windows(self) -> bool:
@@ -310,46 +373,19 @@ class FleetController:
             self._departure_hook(stream_name, source.name, reason)
         return event
 
-    def rebalance(self, window_index: int) -> List[MigrationEvent]:
-        """Migrate streams off overloaded sites at a window boundary.
+    def rebalance(
+        self, window_index: int, signals: Optional[ControlSignals] = None
+    ) -> List[MigrationEvent]:
+        """Run one control round: delegate to the installed policy.
 
-        A site is overloaded when its streams-per-GPU exceeds
-        ``overload_factor`` × the healthy-fleet mean load.  Each migration
-        moves the overloaded site's currently worst-served stream (lowest
-        stale-model accuracy this window — it has the least to lose from the
-        transfer and the most to gain from a less contended site) to the
-        least-loaded healthy site.  At most ``max_migrations_per_window``
-        streams move per boundary so the fleet never thrashes.
+        With the default :class:`~repro.fleet.policy.GreedyRebalancePolicy`
+        this migrates streams off overloaded sites exactly as every engine
+        before the policy layer did, bit for bit (see that class for the
+        algorithm).  ``signals`` is the simulator-built
+        :class:`~repro.fleet.policy.ControlSignals` snapshot for policies
+        that declare ``wants_signals``; direct callers may omit it.
         """
-        events: List[MigrationEvent] = []
-        healthy = self.healthy_sites
-        if len(healthy) < 2:
-            return events
-        while len(events) < self._max_migrations:
-            loads = [site.load for site in healthy]
-            mean_load = sum(loads) / len(loads)
-            source = max(healthy, key=lambda site: (site.load, site.name))
-            destination = min(healthy, key=lambda site: (site.load, site.name))
-            if source.num_streams < 2 or mean_load <= 0:
-                break
-            if source.load <= self._overload_factor * mean_load:
-                break
-            # Moving one stream must actually close the gap, else the same
-            # stream would bounce between the two sites forever.
-            gap_after = (source.load - 1.0 / source.spec.num_gpus) - (
-                destination.load + 1.0 / destination.spec.num_gpus
-            )
-            if gap_after < 0:
-                break
-            victim = min(
-                source.stream_names,
-                key=lambda name: (
-                    self._dynamics.start_accuracy(source.server.stream(name), window_index),
-                    name,
-                ),
-            )
-            events.append(self._migrate(victim, destination, window_index, "overload"))
-        return events
+        return self._control_policy.rebalance(self, window_index, signals)
 
     # ---------------------------------------------------------------- failure
     def fail_site(self, name: str, window_index: int) -> List[MigrationEvent]:

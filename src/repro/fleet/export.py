@@ -9,12 +9,20 @@ coverage, and ``docs/telemetry.md`` documents the mapping.
 Three summary values are not plain gauges and get the conventional
 encodings:
 
-- ``admission_policy`` (a string) becomes an *info*-style gauge with the
-  value in a label: ``ekya_fleet_admission_policy_info{policy="..."} 1``.
+- Strings (``admission_policy``, ``control_policy``) become *info*-style
+  gauges with the value in a label:
+  ``ekya_fleet_admission_policy_info{policy="..."} 1``.
 - ``migrations_by_reason`` (a dict) becomes one labelled counter sample per
   reason: ``ekya_fleet_migrations_by_reason_total{reason="..."} n``.
 - Integer counters render without a decimal point; floats via ``repr`` so
   the exposition round-trips the exact double.
+
+Beyond the summary scalars, :func:`render_accuracy_histogram` renders the
+telemetry sampler's merged per-stream accuracy distribution as a
+histogram-typed metric (``ekya_fleet_stream_accuracy``) with the
+conventional ``_bucket{le=...}`` / ``_sum`` / ``_count`` samples;
+:meth:`repro.fleet.telemetry.TelemetryPlane.export_text` appends it to the
+scalar exposition.
 
 ``scripts/export_metrics.py`` is the CLI wrapper that runs a small fleet
 and prints this exposition.
@@ -24,10 +32,19 @@ from __future__ import annotations
 
 from typing import Dict, Mapping
 
-__all__ = ["METRIC_PREFIX", "render_prometheus"]
+__all__ = [
+    "ACCURACY_HISTOGRAM_BUCKETS",
+    "METRIC_PREFIX",
+    "render_accuracy_histogram",
+    "render_prometheus",
+]
 
 #: Every exported metric name starts with this.
 METRIC_PREFIX = "ekya_fleet_"
+
+#: Upper bounds of the accuracy-distribution histogram.  Accuracies live in
+#: [0, 1]; the grid is denser near the top where fleets actually operate.
+ACCURACY_HISTOGRAM_BUCKETS = (0.25, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0)
 
 #: ``# HELP`` strings per summary key.  Keys absent here (a future summary
 #: addition) still export, with a generated placeholder help line — the
@@ -48,6 +65,11 @@ _HELP: Dict[str, str] = {
     "profiling_gpu_seconds_saved": "Profiling GPU-seconds saved by warm starts.",
     "retrainings_cancelled": "In-flight retrainings cancelled mid-window.",
     "reclaimed_gpu_seconds": "GPU-seconds reclaimed from cancelled retrainings.",
+    "wasted_gpu_seconds": "GPU-seconds burned on retrainings that never paid.",
+    "control_policy": "Control policy the fleet ran (info-style gauge).",
+    "control_scans_skipped": "Control scans skipped as provably no-op.",
+    "migrations_rejected": "Control rounds where no migration cleared the profit bar.",
+    "proactive_cancellations": "Retrainings proactively cancelled by the control plane.",
     "transfers_failed": "WAN transfer attempts lost in flight.",
     "transfer_retries": "Failed checkpoint transfers that were retried.",
     "retry_seconds": "Wall-clock seconds lost to failed transfer attempts.",
@@ -67,6 +89,9 @@ _COUNTERS = frozenset(
         "transfers_failed",
         "transfer_retries",
         "telemetry_events_dropped",
+        "control_scans_skipped",
+        "migrations_rejected",
+        "proactive_cancellations",
     }
 )
 
@@ -117,4 +142,32 @@ def render_prometheus(summary: Mapping[str, object], *, prefix: str = METRIC_PRE
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} {kind}")
             lines.append(f"{name} {_format_number(value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_accuracy_histogram(
+    histogram: Mapping[str, object], *, prefix: str = METRIC_PREFIX
+) -> str:
+    """Render a sampler histogram as a Prometheus ``histogram`` block.
+
+    ``histogram`` is :meth:`repro.fleet.telemetry.AdaptiveStreamSampler.
+    histogram` output: cumulative ``(le, count)`` buckets plus the total
+    observation count and sum.  Bucket counts are clamped monotone
+    non-decreasing and capped at the total, so interpolation noise from
+    the streaming sketches can never produce an invalid exposition.
+    """
+    name = f"{prefix}stream_accuracy"
+    lines = [
+        f"# HELP {name} Distribution of per-stream window accuracies "
+        "(merged P2 sketches).",
+        f"# TYPE {name} histogram",
+    ]
+    total = int(histogram["count"])
+    running = 0.0
+    for bound, count in histogram["buckets"]:
+        running = min(max(running, float(count)), float(total))
+        lines.append(f'{name}_bucket{{le="{_format_number(bound)}"}} {running!r}')
+    lines.append(f'{name}_bucket{{le="+Inf"}} {total}')
+    lines.append(f"{name}_sum {float(histogram['sum'])!r}")
+    lines.append(f"{name}_count {total}")
     return "\n".join(lines) + "\n"

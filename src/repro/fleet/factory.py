@@ -35,11 +35,15 @@ from .admission import (
 from .controller import FleetController
 from .faults import WanFaultModel
 from .migration import PROFILE_SIZE_MBITS, MigrationCostModel
+from .policy import ControlPolicy, GreedyRebalancePolicy, PredictiveProfitPolicy
 from .site import EdgeSite, SiteSpec
 from .telemetry import TelemetryConfig
 
 #: Admission-policy names accepted by :func:`build_admission` / :func:`make_fleet`.
 ADMISSION_NAMES = ("least_loaded", "accuracy_greedy", "random")
+
+#: Control-policy names accepted by :func:`build_policy` / :func:`make_fleet`.
+POLICY_NAMES = ("greedy", "predictive")
 
 #: Warm-started streams profile at most this many candidate configurations
 #: (half of :func:`make_config_space`'s 12-config retraining grid).
@@ -86,6 +90,21 @@ def build_admission(
     raise FleetError(f"unknown admission policy {name!r}; expected one of {ADMISSION_NAMES}")
 
 
+def build_policy(name: str) -> ControlPolicy:
+    """Instantiate a control policy by its canonical name.
+
+    ``"greedy"`` is the bit-identical default load rebalancer;
+    ``"predictive"`` the profit-driven plane (``docs/control_plane.md``).
+    Pass a :class:`~repro.fleet.policy.ControlPolicy` instance to
+    :func:`make_fleet` instead when non-default knobs are needed.
+    """
+    if name == "greedy":
+        return GreedyRebalancePolicy()
+    if name == "predictive":
+        return PredictiveProfitPolicy()
+    raise FleetError(f"unknown control policy {name!r}; expected one of {POLICY_NAMES}")
+
+
 def make_fleet(
     num_sites: int,
     streams_per_site: int,
@@ -110,6 +129,7 @@ def make_fleet(
     preemptive_sites: bool = False,
     wan_faults: Optional[WanFaultModel] = None,
     telemetry: Optional[TelemetryConfig] = None,
+    control_policy: Union[str, ControlPolicy] = "greedy",
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -179,6 +199,13 @@ def make_fleet(
     ``None`` (default) uses defaults sized so nothing is ever evicted at
     current benchmark scales; telemetry is always on and changes no
     observable result, only bounds memory.
+
+    ``control_policy`` selects what runs at every ``ControlTick``: a name
+    from :data:`POLICY_NAMES` or a prebuilt
+    :class:`~repro.fleet.policy.ControlPolicy` instance.  The default
+    ``"greedy"`` reproduces the pre-policy engine bit for bit; see
+    ``docs/control_plane.md`` for the predictive plane and the A/B
+    harness comparing them.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -249,6 +276,8 @@ def make_fleet(
             seed=seed + 2,
             shared_profiles=sharing.store if sharing is not None else None,
         )
+    if isinstance(control_policy, str):
+        control_policy = build_policy(control_policy)
     controller = FleetController(
         sites,
         dynamics=dynamics,
@@ -260,6 +289,7 @@ def make_fleet(
         preemptive_sites=preemptive_sites,
         wan_faults=wan_faults,
         telemetry=telemetry,
+        control_policy=control_policy,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

@@ -98,6 +98,11 @@ class SiteWindowStats:
     #: GPU-seconds of cancelled retrainings' remaining work reclaimed for
     #: the site's other in-flight retrainings (preemptive sites only).
     reclaimed_gpu_seconds: float = 0.0
+    #: GPU-seconds burned on retrainings that never paid: work sunk into
+    #: cancelled jobs before their cancellation plus the whole-window burn
+    #: of jobs that never completed inside their window (preemptive sites
+    #: only; 0 otherwise).  The control-plane A/B harness's waste metric.
+    wasted_gpu_seconds: float = 0.0
     #: WAN transfer attempts into/out of this site lost in flight — failed
     #: checkpoint-transfer attempts (charged to the destination) and lost
     #: profile pushes (charged to the source).  0 unless the fleet was
@@ -191,6 +196,13 @@ class FleetWindowResult:
         )
 
     @property
+    def wasted_gpu_seconds(self) -> float:
+        """GPU-seconds burned on never-paying retrainings this window."""
+        return float(
+            sum(stats.wasted_gpu_seconds for stats in self.site_stats.values())
+        )
+
+    @property
     def transfers_failed(self) -> int:
         """WAN transfer attempts lost in flight across the fleet this window."""
         return sum(stats.transfers_failed for stats in self.site_stats.values())
@@ -223,6 +235,17 @@ class FleetResult:
     telemetry_sampled_streams: int = 0
     #: Live event envelopes held in the telemetry ring when the run ended.
     telemetry_ring_occupancy: int = 0
+    #: Name of the control policy that ran the fleet's control ticks.
+    control_policy: str = "greedy"
+    #: Greedy scans skipped because the load vector was provably unchanged
+    #: since an idle scan (cumulative over the controller's lifetime).
+    control_scans_skipped: int = 0
+    #: Control rounds in which candidate migrations existed but none
+    #: cleared the policy's predicted-profit bar (predictive policy only).
+    migrations_rejected: int = 0
+    #: In-flight retrainings the control plane proactively cancelled
+    #: because they no longer paid (predictive policy on preemptive sites).
+    proactive_cancellations: int = 0
 
     # ----------------------------------------------------------- accuracy
     @property
@@ -308,6 +331,11 @@ class FleetResult:
         """GPU-seconds reclaimed from cancelled retrainings over the run."""
         return float(sum(w.reclaimed_gpu_seconds for w in self.windows))
 
+    @property
+    def wasted_gpu_seconds(self) -> float:
+        """GPU-seconds burned on never-paying retrainings over the run."""
+        return float(sum(w.wasted_gpu_seconds for w in self.windows))
+
     # --------------------------------------------------------------- faults
     @property
     def transfers_failed(self) -> int:
@@ -349,6 +377,11 @@ class FleetResult:
             "profiling_gpu_seconds_saved": self.profiling_gpu_seconds_saved,
             "retrainings_cancelled": self.retrainings_cancelled,
             "reclaimed_gpu_seconds": self.reclaimed_gpu_seconds,
+            "wasted_gpu_seconds": self.wasted_gpu_seconds,
+            "control_policy": self.control_policy,
+            "control_scans_skipped": self.control_scans_skipped,
+            "migrations_rejected": self.migrations_rejected,
+            "proactive_cancellations": self.proactive_cancellations,
             "transfers_failed": self.transfers_failed,
             "transfer_retries": self.transfer_retries,
             "retry_seconds": self.retry_seconds,

@@ -1,0 +1,21 @@
+"""Pluggable fleet control policies.
+
+``base`` defines the :class:`ControlPolicy` interface and the
+:class:`ControlSignals` snapshot the simulator hands signal-hungry
+policies; ``greedy`` is the bit-identical default; ``predictive`` is the
+profit-driven plane; ``ab`` (imported explicitly, not re-exported — it
+pulls in the fleet factory) is the seeded A/B scenario harness comparing
+policies on identical calendars.  See ``docs/control_plane.md``.
+"""
+
+from .base import ControlPolicy, ControlSignals, InflightRetraining
+from .greedy import GreedyRebalancePolicy
+from .predictive import PredictiveProfitPolicy
+
+__all__ = [
+    "ControlPolicy",
+    "ControlSignals",
+    "GreedyRebalancePolicy",
+    "InflightRetraining",
+    "PredictiveProfitPolicy",
+]

@@ -103,6 +103,7 @@ from .metrics import (
     gpu_utilization,
 )
 from .migration import MigrationEvent
+from .policy.base import ControlSignals, InflightRetraining
 from .scenarios import FlashCrowd, GpuFailure, Scenario, SiteFailure, WanDegradation
 from .site import EdgeSite
 from .telemetry import TelemetryConfig, TelemetryPlane
@@ -150,6 +151,11 @@ class _OpenSiteWindow:
     overrides: Dict[str, float] = field(default_factory=dict)
     retrainings_cancelled: int = 0
     reclaimed_gpu_seconds: float = 0.0
+    #: GPU-seconds burned on retrainings that never paid: work sunk into a
+    #: cancelled job before its cancellation, plus the whole-window burn of
+    #: a job that never completed inside its window.  The A/B harness's
+    #: headline waste metric; stays 0.0 on non-preemptive fleets.
+    wasted_gpu_seconds: float = 0.0
 
 
 class FleetSimulator:
@@ -221,6 +227,7 @@ class FleetSimulator:
         self._open_windows: Dict[str, _OpenSiteWindow] = {}
         if self._preemptive:
             controller.set_departure_hook(self._on_stream_departure)
+            controller.set_cancellation_hook(self._on_proactive_cancellation)
         self._scenario.validate(
             [site.name for site in controller.sites],
             require_time_indexed=not controller.homogeneous_windows,
@@ -314,7 +321,7 @@ class FleetSimulator:
         for window_index in range(start_window, start_window + num_windows):
             result.windows.append(self.run_window(window_index))
         result.wall_clock_seconds = watch.elapsed()
-        self._telemetry.annotate(result)
+        self._finalize_result(result)
         return result
 
     def run_window(self, window_index: int) -> FleetWindowResult:
@@ -372,8 +379,22 @@ class FleetSimulator:
         result = self._new_result()
         result.windows.extend(self._drain_unemitted())
         result.wall_clock_seconds = watch.elapsed()
-        self._telemetry.annotate(result)
+        self._finalize_result(result)
         return result
+
+    def _finalize_result(self, result: FleetResult) -> None:
+        """Stamp the telemetry gauges and control-plane counters.
+
+        Like the telemetry gauges, the control counters are cumulative over
+        the controller's lifetime — continuation runs report totals so far.
+        """
+        self._telemetry.annotate(result)
+        controller = self._controller
+        counters = controller.control_counters
+        result.control_policy = controller.control_policy.name
+        result.control_scans_skipped = counters["control_scans_skipped"]
+        result.migrations_rejected = counters["migrations_rejected"]
+        result.proactive_cancellations = counters["proactive_cancellations"]
 
     def _drain_unemitted(self) -> List[FleetWindowResult]:
         """Cycles not yet handed to a caller, including the in-progress one."""
@@ -593,10 +614,68 @@ class FleetSimulator:
 
     def _on_control_tick(self, tick: ControlTick) -> None:
         cycle = self._require_cycle()
-        migrations = self._controller.rebalance(cycle.window_index)
+        signals = None
+        if self._controller.control_policy.wants_signals:
+            signals = self._build_control_signals()
+        migrations = self._controller.rebalance(cycle.window_index, signals)
         self._register_migrations(migrations, tick.time)
         if self._control_interval is not None:
             self._calendar.schedule(ControlTick(time=tick.time + self._control_interval))
+
+    def _build_control_signals(self) -> ControlSignals:
+        """Snapshot the simulator state a signal-hungry policy acts on.
+
+        Built per tick, and only when the installed policy declares
+        ``wants_signals`` — the default greedy plane never pays for it.
+        """
+        inflight: Dict[str, Dict[str, InflightRetraining]] = {}
+        for site_name, open_window in self._open_windows.items():
+            entries = {
+                stream: InflightRetraining(
+                    stream=stream,
+                    site=site_name,
+                    expected_completion=completion,
+                    alloc=open_window.alloc.get(stream, 0.0),
+                    ready=open_window.ready.get(stream, open_window.start),
+                    accelerable=stream in open_window.accelerable,
+                    window_start=open_window.start,
+                    window_end=open_window.end,
+                )
+                for stream, completion in open_window.expected.items()
+            }
+            # Planned retrainings that never fit the window have no
+            # completion event (and no expected entry) but burn GPU to the
+            # boundary regardless — exactly the jobs a predictive policy
+            # most wants to see.  Exposed with an infinite completion: they
+            # never pay this window.
+            for stream in open_window.plan.pending_streams():
+                if stream in entries:
+                    continue
+                planned = open_window.plan.streams[stream]
+                if planned.decision.retraining_gpu <= 0:
+                    continue
+                ready = open_window.start + planned.retraining_start_offset
+                if ready >= open_window.end:
+                    continue  # never starts burning either
+                entries[stream] = InflightRetraining(
+                    stream=stream,
+                    site=site_name,
+                    expected_completion=float("inf"),
+                    alloc=planned.decision.retraining_gpu,
+                    ready=ready,
+                    # No completion event exists to reschedule, so reclaimed
+                    # capacity cannot flow *to* this job — only from it.
+                    accelerable=False,
+                    window_start=open_window.start,
+                    window_end=open_window.end,
+                )
+            if entries:
+                inflight[site_name] = entries
+        return ControlSignals(
+            now=self._calendar.now if self._calendar is not None else 0.0,
+            transfer_arrivals=dict(self._transfer_arrival),
+            inflight=inflight,
+        )
 
     def _on_transfer_arrival(self, event: TransferArrival) -> None:
         # A later hop extends the stream's transfer past this (now stale)
@@ -786,33 +865,82 @@ class FleetSimulator:
         """A stream migrated or was evacuated away: preempt its retraining.
 
         Installed as the controller's departure hook on preemptive fleets.
-        If the stream has an in-flight retraining at the source site, it is
-        cancelled at the current instant: the stream settles with no
-        retraining benefit, the remaining GPU-seconds are reclaimed, and the
-        freed allocation is split evenly across the site's surviving
-        in-flight retrainings — each finishes earlier, its stale completion
-        event superseded by a rescheduled one.  Idempotent: a stream with no
+        Delegates to :meth:`_cancel_inflight_retraining` with the engine's
+        historical ``"retraining_cancelled"`` reconfiguration reason.
+        """
+        self._cancel_inflight_retraining(source, stream, "retraining_cancelled")
+
+    def _on_proactive_cancellation(
+        self, source: str, stream: str, reason: str = "proactive_cancellation"
+    ) -> bool:
+        """The control plane asked for a cancellation (the controller's
+        cancellation hook).  Unlike a departure, the proactive path may also
+        kill retrainings that were planned past the window end — they have
+        no completion event but burn GPU to the boundary regardless."""
+        return self._cancel_inflight_retraining(
+            source, stream, reason, allow_unscheduled=True
+        )
+
+    def _cancel_inflight_retraining(
+        self,
+        source: str,
+        stream: str,
+        reason: str = "proactive_cancellation",
+        *,
+        allow_unscheduled: bool = False,
+    ) -> bool:
+        """Cancel one in-flight retraining at ``source`` right now.
+
+        The shared preemption core behind mid-window departures and the
+        control plane's proactive cancellations
+        (:meth:`~repro.fleet.controller.FleetController.
+        request_cancellation`).  The stream settles with no retraining
+        benefit, the work already burned is accounted as waste, the
+        remaining GPU-seconds are reclaimed, and the freed allocation is
+        split evenly across the site's surviving accelerable in-flight
+        retrainings — each finishes earlier, its stale completion event
+        superseded by a rescheduled one.  Idempotent: a stream with no
         in-flight retraining (none planned, already completed, or already
-        cancelled by an earlier hop) is a no-op.
+        cancelled by an earlier hop) is a no-op returning ``False``.
         """
         open_window = self._open_windows.get(source)
         if open_window is None:
-            return
-        expected = open_window.expected.pop(stream, None)
-        if expected is None:
-            return
+            return False
         now = self._calendar.now
-        alloc = open_window.alloc.pop(stream)
-        ready = open_window.ready.pop(stream, now)
+        expected = open_window.expected.pop(stream, None)
+        if expected is not None:
+            alloc = open_window.alloc.pop(stream)
+            ready = open_window.ready.pop(stream, now)
+        else:
+            if not allow_unscheduled:
+                return False
+            planned = open_window.plan.streams.get(stream)
+            if (
+                planned is None
+                or planned.decision.retraining_gpu <= 0
+                or open_window.plan.settled(stream)
+            ):
+                return False
+            alloc = planned.decision.retraining_gpu
+            ready = open_window.start + planned.retraining_start_offset
+            if ready >= open_window.end:
+                return False  # never starts burning: nothing to cancel
+            # Left alone, the job burns to the boundary and settles as pure
+            # waste — so the boundary is its effective completion time for
+            # both the burn already sunk and the reclaimable remainder.
+            expected = open_window.end
         open_window.accelerable.discard(stream)
         open_window.overrides.pop(stream, None)
         # Reclaim only GPU work still to *burn*: a WAN-delayed retraining is
         # idle until its checkpoint arrives (``ready``), so the waiting
-        # portion of its wall-clock time-to-completion is not work.
+        # portion of its wall-clock time-to-completion is not work.  The
+        # mirror-image burn — work already done and now written off — is the
+        # cancellation's waste.
         remaining = max(0.0, expected - max(now, ready))
         reclaimed = remaining * alloc
         open_window.retrainings_cancelled += 1
         open_window.reclaimed_gpu_seconds += reclaimed
+        open_window.wasted_gpu_seconds += max(0.0, min(now, expected) - ready) * alloc
         site = self._controller.site(source)
         outcome = site.settle_stream(open_window.plan, stream, cancelled=True)
         self._record_settled(open_window, stream, outcome)
@@ -822,7 +950,7 @@ class FleetSimulator:
                 site=source,
                 stream=stream,
                 inference_gpu=0.0,
-                reason="retraining_cancelled",
+                reason=reason,
             )
         )
         # Only allocation-driven retrainings can absorb the freed capacity;
@@ -833,7 +961,7 @@ class FleetSimulator:
             if completion > now and name in open_window.accelerable
         )
         if reclaimed <= 0 or not beneficiaries:
-            return
+            return True
         share = alloc / len(beneficiaries)
         for name in beneficiaries:
             # The job runs only past max(now, ready): remaining work is the
@@ -856,6 +984,7 @@ class FleetSimulator:
                     window_index=open_window.window_index,
                 )
             )
+        return True
 
     def _rescale_site_retrainings(
         self, site_name: str, old_capacity: int, new_capacity: int
@@ -882,12 +1011,17 @@ class FleetSimulator:
         if new_capacity <= 0:
             site = self._controller.site(site_name)
             for name in sorted(open_window.expected):
+                expected = open_window.expected[name]
                 del open_window.expected[name]
-                open_window.alloc.pop(name, None)
-                open_window.ready.pop(name, None)
+                alloc = open_window.alloc.pop(name, 0.0)
+                ready = open_window.ready.pop(name, now)
                 open_window.accelerable.discard(name)
                 open_window.overrides.pop(name, None)
                 open_window.retrainings_cancelled += 1
+                # The work burned so far dies with the GPUs — pure waste.
+                open_window.wasted_gpu_seconds += (
+                    max(0.0, min(now, expected) - ready) * alloc
+                )
                 outcome = site.settle_stream(open_window.plan, name, cancelled=True)
                 self._record_settled(open_window, name, outcome)
                 self._calendar.schedule(
@@ -967,6 +1101,18 @@ class FleetSimulator:
                 plan, name, completion_offset=open_window.overrides.pop(name, None)
             )
             self._record_settled(open_window, name, outcome)
+            # A retraining that burned local GPU all window without landing
+            # (planned past the end, or rescheduled past it by a capacity
+            # shrink) paid for nothing: charge its burn as waste.
+            planned = plan.streams[name]
+            if planned.decision.retraining_gpu > 0 and not outcome.retraining_completed:
+                ready = open_window.ready.get(
+                    name, open_window.start + planned.retraining_start_offset
+                )
+                alloc = open_window.alloc.get(name, planned.decision.retraining_gpu)
+                open_window.wasted_gpu_seconds += (
+                    max(0.0, open_window.end - ready) * alloc
+                )
         open_window.expected.clear()
         open_window.alloc.clear()
         open_window.ready.clear()
@@ -993,6 +1139,7 @@ class FleetSimulator:
             profiling_gpu_seconds_saved=saved,
             retrainings_cancelled=open_window.retrainings_cancelled,
             reclaimed_gpu_seconds=open_window.reclaimed_gpu_seconds,
+            wasted_gpu_seconds=open_window.wasted_gpu_seconds,
             transfers_failed=failed,
             transfer_retries=retries,
             retry_seconds=wasted,

@@ -49,7 +49,7 @@ while the footprint is flat in the number of windows simulated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -316,6 +316,31 @@ class P2Quantile:
             )
         return self._heights[2]
 
+    def cumulative_below(self, x: float) -> float:
+        """Estimated number of observed samples ``<= x``.
+
+        Exact while buffered; in the streaming regime the five markers'
+        ``(height, cumulative position)`` pairs are an empirical-CDF
+        skeleton and the count is linearly interpolated between them.
+        Monotone in ``x`` and bounded by :attr:`count`, which is what lets
+        the Prometheus histogram export build non-decreasing buckets from
+        many merged sketches.
+        """
+        if self._buffer is not None:
+            return float(sum(1 for v in self._buffer if v <= x))
+        q, n = self._heights, self._pos
+        if x < q[0]:
+            return 0.0
+        if x >= q[4]:
+            return n[4]
+        for i in range(4):
+            if x < q[i + 1]:
+                span = q[i + 1] - q[i]
+                if span <= 0.0:
+                    return n[i + 1]
+                return n[i] + (x - q[i]) / span * (n[i + 1] - n[i])
+        return n[4]  # pragma: no cover - the scan above always returns
+
     # ------------------------------------------------------------ internals
     def _replay(self, samples: List[float]) -> None:
         first = sorted(samples[:5])
@@ -528,6 +553,32 @@ class AdaptiveStreamSampler:
             raise FleetError(f"no telemetry recorded for stream {name!r}")
         return sketch.points()
 
+    def histogram(self, buckets: Sequence[float]) -> Dict[str, object]:
+        """Merge every stream's sketch into one cumulative histogram.
+
+        Each observation is one (stream, window) accuracy; the per-stream
+        P² sketches already hold the distribution, so the fleet-wide
+        histogram is the sum of their interpolated CDFs at the bucket
+        bounds (exact below each sketch's buffering limit).  Returns
+        ``{"buckets": [(le, cumulative_count), ...], "count": total,
+        "sum": total_sum}`` — the three pieces a Prometheus
+        histogram-typed exposition needs.
+        """
+        bounds = sorted(float(b) for b in buckets)
+        counts = [0.0] * len(bounds)
+        total = 0
+        total_sum = 0.0
+        for sketch in self._sketches.values():
+            total += sketch.count
+            total_sum += sketch.mean * sketch.count
+            for i, bound in enumerate(bounds):
+                counts[i] += sketch.p2.cumulative_below(bound)
+        return {
+            "buckets": list(zip(bounds, counts)),
+            "count": total,
+            "sum": total_sum,
+        }
+
 
 # --------------------------------------------------------------------------
 # Per-site window counters
@@ -549,6 +600,7 @@ SITE_STATS_DTYPE = np.dtype(
         ("profiling_gpu_seconds_saved", "f8"),
         ("retrainings_cancelled", "i8"),
         ("reclaimed_gpu_seconds", "f8"),
+        ("wasted_gpu_seconds", "f8"),
         ("transfers_failed", "i8"),
         ("transfer_retries", "i8"),
         ("retry_seconds", "f8"),
@@ -564,6 +616,7 @@ _STATS_FLOAT_FIELDS = (
     "profiling_gpu_seconds",
     "profiling_gpu_seconds_saved",
     "reclaimed_gpu_seconds",
+    "wasted_gpu_seconds",
     "retry_seconds",
 )
 _STATS_INT_FIELDS = (
@@ -927,7 +980,20 @@ class TelemetryPlane:
         result.telemetry_ring_occupancy = self.ring_occupancy
 
     def export_text(self, result) -> str:
-        """Prometheus-style text exposition of a run's summary."""
-        from .export import render_prometheus
+        """Prometheus-style text exposition of a run's summary.
 
-        return render_prometheus(result.summary())
+        Appends the histogram-typed per-stream accuracy distribution
+        (merged from the sampler's P² sketches) to the scalar summary
+        metrics whenever any stream has been observed.
+        """
+        from .export import (
+            ACCURACY_HISTOGRAM_BUCKETS,
+            render_accuracy_histogram,
+            render_prometheus,
+        )
+
+        text = render_prometheus(result.summary())
+        if self._sampler.num_streams:
+            histogram = self._sampler.histogram(ACCURACY_HISTOGRAM_BUCKETS)
+            text += render_accuracy_histogram(histogram)
+        return text

@@ -161,6 +161,17 @@ class FleetProfileStore:
     def pushes_for(self, key: ProfileKey) -> int:
         return self._pushes.get(key, 0)
 
+    def last_push_at(self, key: ProfileKey) -> Optional[float]:
+        """Arrival time of the key's latest push on the fleet clock.
+
+        ``None`` before any push — and always ``None`` on stores built
+        without a ``decay_half_life``, which never track arrival times.
+        The predictive control policy reads this as a staleness signal:
+        the older a key's curves, the less its predicted accuracy gain is
+        trusted.
+        """
+        return self._last_push_at.get(key)
+
     @property
     def num_pushes(self) -> int:
         return sum(self._pushes.values())

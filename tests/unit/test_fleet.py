@@ -530,6 +530,11 @@ class TestFleetMetrics:
             "profiling_gpu_seconds_saved",
             "retrainings_cancelled",
             "reclaimed_gpu_seconds",
+            "wasted_gpu_seconds",
+            "control_policy",
+            "control_scans_skipped",
+            "migrations_rejected",
+            "proactive_cancellations",
             "transfers_failed",
             "transfer_retries",
             "retry_seconds",

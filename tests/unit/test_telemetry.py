@@ -305,3 +305,74 @@ class TestPrometheusExport:
         # Every sample line is preceded by HELP/TYPE metadata for its metric.
         assert lines.count("# TYPE ekya_fleet_num_sites gauge") == 1
         assert lines.count("# HELP ekya_fleet_num_sites Edge sites in the fleet.") == 1
+        # The control policy exports as a second info-style gauge.
+        control = summary["control_policy"]
+        assert f'ekya_fleet_control_policy_info{{policy="{control}"}} 1' in lines
+
+    def test_export_appends_accuracy_histogram(self):
+        simulator = _small_sim()
+        result = simulator.run(2)
+        text = simulator.telemetry.export_text(result)
+        lines = text.splitlines()
+        assert "# TYPE ekya_fleet_stream_accuracy histogram" in lines
+        buckets = [
+            float(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith('ekya_fleet_stream_accuracy_bucket{le="')
+            and '+Inf' not in line
+        ]
+        assert buckets, "histogram must render at least one finite bucket"
+        assert buckets == sorted(buckets), "bucket counts must be cumulative"
+        count_line = [l for l in lines if l.startswith("ekya_fleet_stream_accuracy_count")]
+        total = int(count_line[0].rsplit(" ", 1)[1])
+        assert total > 0, "a real run observes accuracies"
+        assert buckets[-1] <= total
+        assert f'ekya_fleet_stream_accuracy_bucket{{le="+Inf"}} {total}' in lines
+        sum_line = [l for l in lines if l.startswith("ekya_fleet_stream_accuracy_sum")]
+        assert 0.0 <= float(sum_line[0].rsplit(" ", 1)[1]) <= float(total)
+
+    def test_histogram_renderer_clamps_sketch_noise(self):
+        from repro.fleet.export import render_accuracy_histogram
+
+        text = render_accuracy_histogram(
+            {"buckets": [(0.5, 3.2), (0.8, 2.9), (1.0, 7.5)], "count": 5, "sum": 3.5}
+        )
+        lines = text.splitlines()
+        # 2.9 < 3.2 is clamped up; 7.5 > count is clamped down to 5.
+        assert 'ekya_fleet_stream_accuracy_bucket{le="0.5"} 3.2' in lines
+        assert 'ekya_fleet_stream_accuracy_bucket{le="0.8"} 3.2' in lines
+        assert 'ekya_fleet_stream_accuracy_bucket{le="1.0"} 5.0' in lines
+        assert 'ekya_fleet_stream_accuracy_bucket{le="+Inf"} 5' in lines
+
+    def test_sampler_histogram_matches_exact_counts_below_buffer_limit(self):
+        plane = TelemetryPlane(TelemetryConfig())
+        series = {"a": [0.2, 0.4, 0.6], "b": [0.7, 0.9]}
+        window = 0
+        for _ in range(3):
+            for i in range(3):
+                batch = {
+                    name: values[i] for name, values in series.items() if i < len(values)
+                }
+                plane.observe_streams(window, batch)
+                window += 1
+        histogram = plane.sampler.histogram((0.5, 0.8, 1.0))
+        assert histogram["count"] == 15
+        by_bound = dict(histogram["buckets"])
+        assert by_bound[0.5] == pytest.approx(6.0)  # 0.2, 0.4 per repeat
+        assert by_bound[0.8] == pytest.approx(12.0)  # + 0.6, 0.7 per repeat
+        assert by_bound[1.0] == pytest.approx(15.0)
+        assert histogram["sum"] == pytest.approx(
+            sum(sum(values) for values in series.values()) * 3
+        )
+
+    def test_p2_cumulative_below_streams_past_the_exact_buffer(self):
+        sketch = P2Quantile(0.5, exact_limit=8)
+        rng = np.random.default_rng(7)
+        data = rng.uniform(0.0, 1.0, 500)
+        for x in data:
+            sketch.add(float(x))
+        for bound in (0.25, 0.5, 0.75):
+            exact = float(np.sum(data <= bound))
+            assert sketch.cumulative_below(bound) == pytest.approx(exact, rel=0.15)
+        assert sketch.cumulative_below(-0.1) == 0.0
+        assert sketch.cumulative_below(2.0) == pytest.approx(500.0)
