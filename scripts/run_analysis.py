@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Run the determinism analyzer over the repository.
+
+Lints ``src/repro`` (or explicit paths) with the rule set in
+``repro.analysis`` — wall-clock reads, unseeded RNG, hash-order iteration
+in fleet modules, identity tie-breaks, unfrozen/undocumented calendar
+events, unexported summary keys — and prints one finding per line.  CI
+runs::
+
+    PYTHONPATH=src python scripts/run_analysis.py --strict
+
+Exit status: 0 when clean; 1 when any error finding survives suppression
+(``--strict`` additionally fails on warnings, e.g. stale
+``# repro: ignore[...]`` comments).  See ``docs/analysis.md`` for the rule
+catalogue and suppression syntax.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.analysis import default_rules, run_analysis  # noqa: E402
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        type=Path,
+        help="files/directories to scan (default: src/repro)",
+    )
+    parser.add_argument(
+        "--root",
+        type=Path,
+        default=REPO_ROOT,
+        help="repository root the cross-check targets resolve against",
+    )
+    parser.add_argument("--json", action="store_true", help="emit the report as JSON")
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="fail on warnings too (unused suppressions)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="list the registered rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in default_rules():
+            print(f"{rule.code}  {rule.name}: {rule.description}")
+        return 0
+
+    report = run_analysis(args.paths or None, root=args.root)
+    print(report.to_json() if args.json else report.render_text())
+    return report.exit_code(strict=args.strict)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

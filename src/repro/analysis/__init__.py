@@ -1,0 +1,34 @@
+"""Determinism analyzer: AST invariant lint + plan-phase purity sanitizer.
+
+Static half — a rule-based AST analyzer enforcing the source conventions
+every reproducibility gate in this repo leans on (no wall clock, no
+unseeded RNG, no hash-order iteration feeding scheduling, frozen events
+with documented priorities, exported summary keys).  Run it via
+``scripts/run_analysis.py`` or :func:`run_analysis`; suppress documented
+false positives inline with ``# repro: ignore[REPxxx]``.
+
+Runtime half — :class:`PuritySanitizer`, the opt-in
+(``make_fleet(sanitize=True)``) guard that digests engine state around
+``plan_window`` and control-policy scans and raises on plan-phase
+mutation.
+
+See ``docs/analysis.md`` for the rule catalogue and how to add a rule.
+"""
+
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding
+from .registry import Rule, default_rules
+from .runner import AnalysisReport, run_analysis
+from .sanitizer import PuritySanitizer, state_digest, verify_digests
+
+__all__ = [
+    "AnalysisReport",
+    "Finding",
+    "PuritySanitizer",
+    "Rule",
+    "SEVERITY_ERROR",
+    "SEVERITY_WARNING",
+    "default_rules",
+    "run_analysis",
+    "state_digest",
+    "verify_digests",
+]

@@ -1,0 +1,186 @@
+"""Parsed-source contexts and inline suppressions for the analyzer.
+
+A :class:`FileContext` holds one file's source, AST and its parsed
+``# repro: ignore[REPxxx]`` suppression comments; a :class:`ProjectContext`
+roots the run at the repository and lazily loads the cross-check targets the
+structural rules need (``fleet/calendar.py``, ``docs/events.md``...) even
+when they are outside the scanned path set.
+
+Suppression syntax — a trailing comment on the offending line::
+
+    victims = list(candidates)  # repro: ignore[REP003] -- order rechecked below
+
+Several codes may be listed (``ignore[REP003, REP004]``); anything after the
+closing bracket is free-form justification.  The runner reports suppressions
+that matched no finding as ``REP000`` warnings so stale ones cannot linger.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from pathlib import Path
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..exceptions import AnalysisError
+
+_IGNORE_RE = re.compile(r"#\s*repro:\s*ignore\[([^\]]*)\]")
+_CODE_RE = re.compile(r"[A-Z]{3}\d{3}")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map 1-indexed line numbers to the rule codes suppressed on them.
+
+    Tokenizer-based, so only genuine comments count — a suppression example
+    quoted inside a docstring is not a suppression.
+    """
+    suppressions: Dict[int, Set[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover - parse() ran first
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _IGNORE_RE.search(token.string)
+        if match is None:
+            continue
+        codes = set(_CODE_RE.findall(match.group(1)))
+        if codes:
+            suppressions.setdefault(token.start[0], set()).update(codes)
+    return suppressions
+
+
+class FileContext:
+    """One parsed source file plus its inline suppressions."""
+
+    def __init__(self, relpath: str, source: str, tree: ast.Module) -> None:
+        self.relpath = relpath
+        self.source = source
+        self.tree = tree
+        self.suppressions = parse_suppressions(source)
+        #: ``(line, code)`` pairs that actually shielded a finding.
+        self.used_suppressions: Set[Tuple[int, str]] = set()
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "FileContext":
+        relpath = path.resolve().relative_to(root.resolve()).as_posix()
+        source = path.read_text(encoding="utf-8")
+        try:
+            tree = ast.parse(source, filename=str(path))
+        except SyntaxError as exc:
+            raise AnalysisError(f"cannot parse {relpath}: {exc}") from exc
+        return cls(relpath, source, tree)
+
+    def is_suppressed(self, line: int, code: str) -> bool:
+        """Whether ``code`` is suppressed on ``line`` (recording the use)."""
+        if code in self.suppressions.get(line, ()):
+            self.used_suppressions.add((line, code))
+            return True
+        return False
+
+    def unused_suppressions(self) -> List[Tuple[int, str]]:
+        """Suppression entries that shielded nothing, in line order."""
+        unused = [
+            (line, code)
+            for line, codes in self.suppressions.items()
+            for code in sorted(codes)
+            if (line, code) not in self.used_suppressions
+        ]
+        return sorted(unused)
+
+
+class ProjectContext:
+    """The repository a run is rooted at, plus every parsed file.
+
+    ``files`` is the scanned set; :meth:`file` serves the structural rules,
+    loading cross-check targets on demand so e.g. the priority-table rule
+    works even when only ``src/repro/analysis/`` was scanned.  Loaded files
+    join the suppression bookkeeping either way.
+    """
+
+    def __init__(self, root: Path, files: Optional[List[FileContext]] = None) -> None:
+        self.root = Path(root)
+        self.files: List[FileContext] = list(files or [])
+        self._by_path: Dict[str, FileContext] = {ctx.relpath: ctx for ctx in self.files}
+
+    def add(self, ctx: FileContext) -> FileContext:
+        self.files.append(ctx)
+        self._by_path[ctx.relpath] = ctx
+        return ctx
+
+    def file(self, relpath: str) -> Optional[FileContext]:
+        """The parsed file at repo-relative ``relpath``, loading it if needed."""
+        ctx = self._by_path.get(relpath)
+        if ctx is not None:
+            return ctx
+        path = self.root / relpath
+        if not path.is_file():
+            return None
+        ctx = FileContext.parse(path, self.root)
+        self._by_path[relpath] = ctx
+        return ctx
+
+    def text(self, relpath: str) -> Optional[str]:
+        """Raw text of a non-Python cross-check target (e.g. a docs table)."""
+        path = self.root / relpath
+        if not path.is_file():
+            return None
+        return path.read_text(encoding="utf-8")
+
+
+class ImportMap(ast.NodeVisitor):
+    """Local name → dotted module path, from a module's import statements.
+
+    ``import numpy as np`` maps ``np`` to ``numpy``; ``from time import
+    perf_counter as pc`` maps ``pc`` to ``time.perf_counter``.  Relative
+    imports resolve to their bare tail (level markers dropped) — good enough
+    for the stdlib/numpy patterns the determinism rules target.
+    """
+
+    def __init__(self) -> None:
+        self.aliases: Dict[str, str] = {}
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            if alias.asname is not None:
+                self.aliases[alias.asname] = alias.name
+            else:
+                # ``import a.b`` binds ``a`` — attribute resolution walks
+                # the rest of the dotted path from there.
+                head = alias.name.split(".")[0]
+                self.aliases[head] = head
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        module = node.module or ""
+        for alias in node.names:
+            local = alias.asname or alias.name
+            self.aliases[local] = f"{module}.{alias.name}" if module else alias.name
+
+    @classmethod
+    def of(cls, tree: ast.Module) -> "ImportMap":
+        mapper = cls()
+        mapper.visit(tree)
+        return mapper
+
+    def resolve_call(self, func: ast.expr) -> Optional[str]:
+        """Canonical dotted path of a call target, or ``None``.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        given ``import numpy as np``; a bare name resolves through the
+        from-import table (``perf_counter`` → ``time.perf_counter``) and
+        otherwise stays itself (builtins like ``id``).
+        """
+        parts: List[str] = []
+        node = func
+        while isinstance(node, ast.Attribute):
+            parts.append(node.attr)
+            node = node.value
+        if not isinstance(node, ast.Name):
+            return None
+        parts.append(node.id)
+        parts.reverse()
+        head = self.aliases.get(parts[0], parts[0])
+        return ".".join([head] + parts[1:])

@@ -1,0 +1,45 @@
+"""Finding datatypes and rendering for the determinism analyzer.
+
+A :class:`Finding` is one rule violation anchored to a file and line.  The
+runner sorts findings into ``(path, line, code)`` order so analyzer output is
+itself deterministic — diffs of two runs over the same tree are empty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+#: A finding that fails ``--strict`` *and* default runs.
+SEVERITY_ERROR = "error"
+#: Hygiene findings (e.g. an unused suppression) that only fail ``--strict``.
+SEVERITY_WARNING = "warning"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str  # repo-relative, posix separators
+    line: int  # 1-indexed; 0 when the finding has no anchor (missing file)
+    code: str  # e.g. "REP001"
+    message: str
+    severity: str = SEVERITY_ERROR
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "code": self.code,
+            "message": self.message,
+            "severity": self.severity,
+        }
+
+    def render(self) -> str:
+        tag = " [warning]" if self.severity == SEVERITY_WARNING else ""
+        return f"{self.path}:{self.line}: {self.code}{tag} {self.message}"
+
+
+def render_findings(findings: Iterable[Finding]) -> List[str]:
+    """Human-readable lines, one per finding, in deterministic order."""
+    return [finding.render() for finding in sorted(findings)]

@@ -1,0 +1,58 @@
+"""Rule base class and the default rule registry.
+
+Every rule carries a stable ``code`` (``REP001``…) used in findings and in
+``# repro: ignore[REPxxx]`` suppressions.  Two granularities exist:
+
+* **file rules** override :meth:`Rule.check_file` and run once per scanned
+  file (the determinism lints);
+* **project rules** override :meth:`Rule.check_project` and run once per
+  analysis, cross-checking extracted facts against fixed targets (the
+  ``SimEvent`` hierarchy vs. ``docs/events.md``, ``FleetResult.summary()``
+  vs. ``fleet/export.py``).
+
+To add a rule: subclass :class:`Rule` in a ``rules_*`` module, pick the next
+free ``REPxxx`` code, append an instance to :func:`default_rules`, document
+it in ``docs/analysis.md`` and give it a positive + negative + suppression
+fixture in ``tests/unit/test_analysis.py``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .context import FileContext, ProjectContext
+from .findings import Finding
+
+
+class Rule:
+    """One invariant the analyzer enforces."""
+
+    code: str = "REP999"
+    name: str = "unnamed"
+    description: str = ""
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        return []
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        return []
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule, in code order."""
+    # Local imports: the rule modules import Rule from here.
+    from .rules_clock import WallClockRule
+    from .rules_events import FrozenEventRule, PriorityTableRule
+    from .rules_export import SummaryCoverageRule
+    from .rules_ordering import IdTieBreakRule, SetIterationRule
+    from .rules_rng import UnseededRngRule
+
+    return [
+        WallClockRule(),
+        UnseededRngRule(),
+        SetIterationRule(),
+        IdTieBreakRule(),
+        FrozenEventRule(),
+        PriorityTableRule(),
+        SummaryCoverageRule(),
+    ]

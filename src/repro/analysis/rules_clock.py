@@ -1,0 +1,73 @@
+"""REP001 — no wall-clock reads in engine code.
+
+Every timing-sensitive result in the repo (``scheduler_runtime_seconds``,
+``wall_clock_seconds``) is bit-identical across runs only because time is
+injected through :class:`repro.utils.clock.Clock` — a ``ManualClock`` in
+every gated test.  A stray ``time.time()`` / ``datetime.now()`` anywhere
+else silently breaks that: the number changes per run and the parity gates
+either flake or quietly stop covering the code path.  ``utils/clock.py`` is
+the single sanctioned owner of the real clock.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Sequence
+
+from .context import FileContext, ImportMap, ProjectContext
+from .findings import Finding
+from .registry import Rule
+
+#: Call targets that read the process's real clock.
+BANNED_CLOCK_CALLS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "time.monotonic",
+        "time.monotonic_ns",
+        "time.perf_counter",
+        "time.perf_counter_ns",
+        "time.process_time",
+        "time.process_time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+    }
+)
+
+#: Repo-relative suffixes allowed to read the real clock.
+DEFAULT_CLOCK_ALLOWLIST = ("utils/clock.py",)
+
+
+class WallClockRule(Rule):
+    code = "REP001"
+    name = "wall-clock"
+    description = "wall-clock reads outside utils/clock.py"
+
+    def __init__(self, allowlist: Sequence[str] = DEFAULT_CLOCK_ALLOWLIST) -> None:
+        self._allowlist = tuple(allowlist)
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        if ctx.relpath.endswith(self._allowlist):
+            return []
+        imports = ImportMap.of(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_call(node.func)
+            if target in BANNED_CLOCK_CALLS:
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=node.lineno,
+                        code=self.code,
+                        message=(
+                            f"wall-clock call {target}() in engine code; inject "
+                            "a repro.utils.clock.Clock instead so runs replay "
+                            "bit-identically"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,211 @@
+"""REP007 — every ``FleetResult.summary()`` key is exported and documented.
+
+Generalises the hand-pinned key-set test: the rule extracts the summary
+dict's literal keys from ``fleet/metrics.py`` and cross-checks them against
+
+* the ``_HELP`` metric registry in ``fleet/export.py`` (what the Prometheus
+  renderer knows how to export), and
+* the metrics appendix table in ``docs/events.md``.
+
+A key present in one place and missing from another is drift: either a new
+metric shipped without export/docs, or a stale entry outlived its metric.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, List, Optional, Tuple
+
+from .context import ProjectContext
+from .findings import Finding
+from .registry import Rule
+
+DEFAULT_METRICS_PATH = "src/repro/fleet/metrics.py"
+DEFAULT_EXPORT_PATH = "src/repro/fleet/export.py"
+DEFAULT_METRICS_DOC_PATH = "docs/events.md"
+
+_BACKTICKED_KEY = re.compile(r"`([A-Za-z_][A-Za-z0-9_]*)`")
+
+
+def extract_summary_keys(tree: ast.Module) -> Optional[Dict[str, int]]:
+    """Key → line of the dict literal ``FleetResult.summary`` returns."""
+    for node in tree.body:
+        if not (isinstance(node, ast.ClassDef) and node.name == "FleetResult"):
+            continue
+        for stmt in node.body:
+            if not (isinstance(stmt, ast.FunctionDef) and stmt.name == "summary"):
+                continue
+            for inner in ast.walk(stmt):
+                if isinstance(inner, ast.Return) and isinstance(inner.value, ast.Dict):
+                    keys: Dict[str, int] = {}
+                    for key in inner.value.keys:
+                        if isinstance(key, ast.Constant) and isinstance(key.value, str):
+                            keys[key.value] = key.lineno
+                    return keys
+    return None
+
+
+def extract_help_keys(tree: ast.Module) -> Optional[Tuple[Dict[str, int], int]]:
+    """``(key → line, _HELP line)`` from the export module's registry."""
+    for node in tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(node, ast.Assign):
+            targets, value = node.targets, node.value
+        elif isinstance(node, ast.AnnAssign):
+            targets, value = [node.target], node.value
+        named_help = any(
+            isinstance(target, ast.Name) and target.id == "_HELP" for target in targets
+        )
+        if named_help and isinstance(value, ast.Dict):
+            keys = {
+                key.value: key.lineno
+                for key in value.keys
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+            }
+            return keys, node.lineno
+    return None
+
+
+def parse_metrics_table(text: str) -> Optional[Dict[str, int]]:
+    """Key → (1-indexed) line from the docs metrics appendix table."""
+    keys: Dict[str, int] = {}
+    in_table = False
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        cells = [cell.strip() for cell in line.strip().strip("|").split("|")]
+        if not in_table:
+            if len(cells) >= 2 and cells[0].lower() == "key" and cells[1].lower() == "type":
+                in_table = True
+            continue
+        if not line.strip().startswith("|"):
+            break
+        if set(cells[0]) <= {"-", ":", " "}:
+            continue
+        match = _BACKTICKED_KEY.search(cells[0])
+        if match is None:
+            break
+        keys[match.group(1)] = lineno
+    return keys if keys else None
+
+
+class SummaryCoverageRule(Rule):
+    code = "REP007"
+    name = "summary-coverage"
+    description = "summary keys covered by export.py and the docs appendix"
+
+    def __init__(
+        self,
+        metrics_path: str = DEFAULT_METRICS_PATH,
+        export_path: str = DEFAULT_EXPORT_PATH,
+        doc_path: str = DEFAULT_METRICS_DOC_PATH,
+    ) -> None:
+        self._metrics_path = metrics_path
+        self._export_path = export_path
+        self._doc_path = doc_path
+
+    def check_project(self, project: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        metrics_ctx = project.file(self._metrics_path)
+        export_ctx = project.file(self._export_path)
+        if metrics_ctx is None or export_ctx is None:
+            missing = self._metrics_path if metrics_ctx is None else self._export_path
+            return [
+                Finding(
+                    path=missing,
+                    line=0,
+                    code=self.code,
+                    message="module not found; cannot cross-check summary coverage",
+                )
+            ]
+        summary = extract_summary_keys(metrics_ctx.tree)
+        if summary is None:
+            return [
+                Finding(
+                    path=self._metrics_path,
+                    line=0,
+                    code=self.code,
+                    message=(
+                        "FleetResult.summary() does not return a dict literal "
+                        "with constant keys; the coverage cross-check cannot see it"
+                    ),
+                )
+            ]
+        extracted = extract_help_keys(export_ctx.tree)
+        if extracted is None:
+            return [
+                Finding(
+                    path=self._export_path,
+                    line=0,
+                    code=self.code,
+                    message="no _HELP dict literal found; the export registry is unanalyzable",
+                )
+            ]
+        help_keys = extracted[0]
+
+        for key, lineno in sorted(summary.items()):
+            if key not in help_keys:
+                findings.append(
+                    Finding(
+                        path=self._metrics_path,
+                        line=lineno,
+                        code=self.code,
+                        message=(
+                            f"summary key {key!r} has no _HELP entry in "
+                            f"{self._export_path}; the Prometheus export would drop it"
+                        ),
+                    )
+                )
+        for key, lineno in sorted(help_keys.items()):
+            if key not in summary:
+                findings.append(
+                    Finding(
+                        path=self._export_path,
+                        line=lineno,
+                        code=self.code,
+                        message=(
+                            f"_HELP documents {key!r} but FleetResult.summary() "
+                            "no longer emits it (stale export entry)"
+                        ),
+                    )
+                )
+
+        doc_text = project.text(self._doc_path)
+        documented = parse_metrics_table(doc_text) if doc_text is not None else None
+        if documented is None:
+            findings.append(
+                Finding(
+                    path=self._doc_path,
+                    line=0,
+                    code=self.code,
+                    message="no `| key | type | ... |` metrics table found; summary is undocumented",
+                )
+            )
+            return findings
+        for key, lineno in sorted(summary.items()):
+            if key not in documented:
+                findings.append(
+                    Finding(
+                        path=self._metrics_path,
+                        line=lineno,
+                        code=self.code,
+                        message=(
+                            f"summary key {key!r} is missing from the metrics "
+                            f"appendix in {self._doc_path}"
+                        ),
+                    )
+                )
+        for key, lineno in sorted(documented.items()):
+            if key not in summary:
+                findings.append(
+                    Finding(
+                        path=self._doc_path,
+                        line=lineno,
+                        code=self.code,
+                        message=(
+                            f"metrics appendix documents {key!r} but "
+                            "FleetResult.summary() no longer emits it"
+                        ),
+                    )
+                )
+        return findings

@@ -1,0 +1,163 @@
+"""REP003/REP004 — no hash-order iteration or identity tie-breaks.
+
+The event calendar makes runs deterministic only if everything that *feeds*
+it is: migration victims, evacuation order and scheduling loops must iterate
+in an explicit order.  Two source-level ways to lose that:
+
+* **REP003** — iterating a ``set`` (or materialising one with ``list()`` /
+  ``tuple()``): element order follows the string hash, which is randomised
+  per process (``PYTHONHASHSEED``).  Scoped to ``fleet/`` modules, where
+  iteration order feeds event scheduling and migration ordering; the fix is
+  ``sorted(...)``.  Python ``dict`` iteration is insertion-ordered and
+  therefore deterministic — it is deliberately *not* flagged.
+* **REP004** — calls to builtin ``id()`` (a memory address: different every
+  run) and ``hash()`` (salted for strings) outside ``__hash__`` methods.
+  Tie-breaks must use stable names or sequence numbers instead.
+
+Both are syntactic rules: they see set *expressions* at the iteration site,
+not values flowing through variables.  That keeps them precise (no flow
+analysis, no false positives on dict iteration) at the cost of missing a
+set bound to a name first — the purity sanitizer and parity gates back
+those up at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional, Sequence, Union
+
+from .context import FileContext, ProjectContext
+from .findings import Finding
+from .registry import Rule
+
+#: ``some.union(...)`` etc. — set-algebra methods whose result is a set.
+_SET_METHODS = frozenset({"union", "intersection", "difference", "symmetric_difference"})
+
+#: Builtins that materialise their argument *in iteration order*.
+_ORDER_MATERIALISERS = frozenset({"list", "tuple"})
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    """Whether ``node`` syntactically evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in ("set", "frozenset"):
+            return True
+        if isinstance(func, ast.Attribute) and func.attr in _SET_METHODS:
+            return True
+    return False
+
+
+class SetIterationRule(Rule):
+    code = "REP003"
+    name = "set-iteration"
+    description = "hash-ordered set iteration in fleet modules"
+
+    def __init__(self, scope: Optional[Sequence[str]] = ("fleet",)) -> None:
+        #: Path components a file must contain for the rule to apply;
+        #: ``None`` applies everywhere.
+        self._scope = tuple(scope) if scope is not None else None
+
+    def _in_scope(self, relpath: str) -> bool:
+        if self._scope is None:
+            return True
+        parts = relpath.split("/")
+        return any(component in parts for component in self._scope)
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        if not self._in_scope(ctx.relpath):
+            return []
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            site = self._iteration_site(node)
+            if site is not None:
+                findings.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=site.lineno,
+                        code=self.code,
+                        message=(
+                            "iterating a set here exposes hash order "
+                            "(PYTHONHASHSEED-dependent for strings) to "
+                            "scheduling/migration decisions; wrap it in "
+                            "sorted(...)"
+                        ),
+                    )
+                )
+        return findings
+
+    @staticmethod
+    def _iteration_site(
+        node: ast.AST,
+    ) -> Optional[Union[ast.expr, ast.stmt]]:
+        """The offending expression when ``node`` iterates a set expression."""
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expression(node.iter):
+            return node.iter
+        if isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+            for generator in node.generators:
+                if _is_set_expression(generator.iter):
+                    return generator.iter
+        if isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_MATERIALISERS
+                and node.args
+                and _is_set_expression(node.args[0])
+            ):
+                return node
+        return None
+
+
+class IdTieBreakRule(Rule):
+    code = "REP004"
+    name = "identity-tiebreak"
+    description = "id()/hash() feeding orderings"
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        findings: List[Finding] = []
+        self._visit(ctx.tree.body, ctx, findings, in_dunder_hash=False)
+        return findings
+
+    def _visit(
+        self,
+        body: Sequence[ast.stmt],
+        ctx: FileContext,
+        findings: List[Finding],
+        *,
+        in_dunder_hash: bool,
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                self._visit(
+                    stmt.body,
+                    ctx,
+                    findings,
+                    # ``hash(...)`` delegation inside __hash__ is idiomatic.
+                    in_dunder_hash=in_dunder_hash or stmt.name == "__hash__",
+                )
+                continue
+            if isinstance(stmt, ast.ClassDef):
+                self._visit(stmt.body, ctx, findings, in_dunder_hash=in_dunder_hash)
+                continue
+            for node in ast.walk(stmt):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Name):
+                    continue
+                if func.id == "id" or (func.id == "hash" and not in_dunder_hash):
+                    findings.append(
+                        Finding(
+                            path=ctx.relpath,
+                            line=node.lineno,
+                            code=self.code,
+                            message=(
+                                f"builtin {func.id}() is nondeterministic across "
+                                "runs (memory address / salted string hash); "
+                                "tie-break on stable names or sequence numbers"
+                            ),
+                        )
+                    )

@@ -1,0 +1,123 @@
+"""REP002 — no module-global or unseeded RNG in engine code.
+
+All randomness in the engine flows through :mod:`repro.utils.rng`
+(``ensure_rng`` over an explicit seed, ``stable_seed`` for derived streams),
+so a run is a pure function of its seeds.  Three ways to break that:
+
+* the stdlib ``random`` module — one hidden process-global generator;
+* numpy's legacy global state (``np.random.seed`` / ``np.random.uniform``
+  and friends) — the same hidden global, shared across every caller;
+* ``np.random.default_rng()`` (or a bare bit generator) with *no seed* —
+  fresh OS entropy per construction.
+
+``default_rng(seed)`` with any explicit argument other than ``None`` is
+exactly what ``ensure_rng`` does and passes.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import List, Optional
+
+from .context import FileContext, ImportMap, ProjectContext
+from .findings import Finding
+from .registry import Rule
+
+#: Samplers/mutators of numpy's hidden module-global RandomState.
+LEGACY_NUMPY_GLOBALS = frozenset(
+    {
+        "seed",
+        "get_state",
+        "set_state",
+        "rand",
+        "randn",
+        "randint",
+        "random",
+        "random_sample",
+        "random_integers",
+        "ranf",
+        "sample",
+        "bytes",
+        "choice",
+        "shuffle",
+        "permutation",
+        "beta",
+        "binomial",
+        "exponential",
+        "gamma",
+        "normal",
+        "poisson",
+        "standard_normal",
+        "uniform",
+    }
+)
+
+#: Constructors that draw OS entropy when called without a seed.
+SEEDABLE_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.SeedSequence",
+        "numpy.random.PCG64",
+        "numpy.random.PCG64DXSM",
+        "numpy.random.MT19937",
+        "numpy.random.Philox",
+        "numpy.random.SFC64",
+    }
+)
+
+
+def _first_argument(node: ast.Call) -> Optional[ast.expr]:
+    if node.args:
+        return node.args[0]
+    for keyword in node.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+    return None
+
+
+class UnseededRngRule(Rule):
+    code = "REP002"
+    name = "unseeded-rng"
+    description = "module-global or unseeded RNG use"
+
+    def check_file(self, ctx: FileContext, project: ProjectContext) -> List[Finding]:
+        imports = ImportMap.of(ctx.tree)
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            target = imports.resolve_call(node.func)
+            if target is None:
+                continue
+            message = self._violation(target, node)
+            if message is not None:
+                findings.append(
+                    Finding(path=ctx.relpath, line=node.lineno, code=self.code, message=message)
+                )
+        return findings
+
+    @staticmethod
+    def _violation(target: str, node: ast.Call) -> Optional[str]:
+        if target.startswith("random."):
+            return (
+                f"stdlib {target}() uses the hidden process-global generator; "
+                "derive a seeded numpy Generator via repro.utils.rng instead"
+            )
+        if not target.startswith("numpy.random."):
+            return None
+        tail = target[len("numpy.random."):]
+        if tail in LEGACY_NUMPY_GLOBALS:
+            return (
+                f"numpy.random.{tail}() mutates/samples numpy's module-global "
+                "state; use an explicit seeded Generator (repro.utils.rng."
+                "ensure_rng) instead"
+            )
+        if target in SEEDABLE_CONSTRUCTORS:
+            seed = _first_argument(node)
+            if seed is None or (isinstance(seed, ast.Constant) and seed.value is None):
+                return (
+                    f"{target}() without a seed draws fresh OS entropy per run; "
+                    "pass an explicit seed (repro.utils.rng.stable_seed for "
+                    "derived streams)"
+                )
+        return None

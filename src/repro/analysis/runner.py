@@ -1,0 +1,138 @@
+"""Analysis driver: discover files, run rules, filter suppressions.
+
+:func:`run_analysis` is the single entry point the CLI, CI job and the
+analyzer's own tests go through.  Output is deterministic: files are
+discovered in sorted order and findings are reported in ``(path, line,
+code)`` order, so two runs over the same tree produce identical reports.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .context import FileContext, ProjectContext
+from .findings import SEVERITY_ERROR, SEVERITY_WARNING, Finding, render_findings
+from .registry import Rule, default_rules
+
+#: Default scan roots, relative to the repository root.
+DEFAULT_SCAN_PATHS = ("src/repro",)
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    root: str
+    findings: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == SEVERITY_WARNING]
+
+    def exit_code(self, *, strict: bool = False) -> int:
+        """0 when clean; 1 on errors (or, under ``--strict``, any finding)."""
+        blocking = self.findings if strict else self.errors
+        return 1 if blocking else 0
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "root": self.root,
+                "files_scanned": self.files_scanned,
+                "rules_run": self.rules_run,
+                "findings": [finding.to_dict() for finding in sorted(self.findings)],
+            },
+            indent=2,
+            sort_keys=False,
+        )
+
+    def render_text(self) -> str:
+        lines = render_findings(self.findings)
+        summary = (
+            f"{self.files_scanned} files scanned, {len(self.rules_run)} rules, "
+            f"{len(self.errors)} errors, {len(self.warnings)} warnings"
+        )
+        return "\n".join(lines + [summary])
+
+
+def discover_files(root: Path, paths: Sequence[Path]) -> List[Path]:
+    """Python files under ``paths``, sorted for a deterministic scan order."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(path.rglob("*.py"))
+        elif path.suffix == ".py":
+            files.append(path)
+    return sorted(set(file.resolve() for file in files))
+
+
+def run_analysis(
+    paths: Optional[Sequence[Path]] = None,
+    *,
+    root: Path,
+    rules: Optional[Iterable[Rule]] = None,
+    report_unused_suppressions: bool = True,
+) -> AnalysisReport:
+    """Run ``rules`` (default: the full registry) over ``paths`` under ``root``.
+
+    ``paths`` defaults to :data:`DEFAULT_SCAN_PATHS` resolved against the
+    root.  Suppressed findings are dropped; suppressions that shielded
+    nothing become ``REP000`` warnings (disable with
+    ``report_unused_suppressions=False`` when running a rule subset, where
+    a suppression's rule may simply not have run).
+    """
+    root = Path(root).resolve()
+    scan_paths = (
+        [Path(p) for p in paths]
+        if paths is not None
+        else [root / rel for rel in DEFAULT_SCAN_PATHS]
+    )
+    active_rules = list(rules) if rules is not None else default_rules()
+    project = ProjectContext(root)
+    for file_path in discover_files(root, scan_paths):
+        project.add(FileContext.parse(file_path, root))
+
+    raw: List[Finding] = []
+    for rule in active_rules:
+        for ctx in project.files:
+            raw.extend(rule.check_file(ctx, project))
+        raw.extend(rule.check_project(project))
+
+    kept: List[Finding] = []
+    for finding in raw:
+        ctx = project.file(finding.path) if finding.path.endswith(".py") else None
+        if ctx is not None and ctx.is_suppressed(finding.line, finding.code):
+            continue
+        kept.append(finding)
+
+    if report_unused_suppressions:
+        for ctx in project.files:
+            for line, code in ctx.unused_suppressions():
+                kept.append(
+                    Finding(
+                        path=ctx.relpath,
+                        line=line,
+                        code="REP000",
+                        message=(
+                            f"suppression ignore[{code}] matched no finding; "
+                            "remove it or fix the code it references"
+                        ),
+                        severity=SEVERITY_WARNING,
+                    )
+                )
+
+    return AnalysisReport(
+        root=str(root),
+        findings=sorted(kept),
+        files_scanned=len(project.files),
+        rules_run=[rule.code for rule in active_rules],
+    )

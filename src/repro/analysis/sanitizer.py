@@ -1,0 +1,189 @@
+"""Runtime plan-phase purity sanitizer.
+
+The plan/settle split (``Simulator.plan_window`` / ``settle_stream``) only
+stays sound if planning is *pure*: it may read the dynamics and site state
+and build a :class:`~repro.simulation.simulator.WindowPlan`, but committing
+anything belongs to the settle phase.  The parity gates see a violation only
+indirectly (as a diff several windows later); this sanitizer catches it at
+the mutation site.
+
+:func:`state_digest` walks an object graph and produces a flat ``path →
+fingerprint`` map; :class:`PuritySanitizer.guard` digests its subjects
+before and after a guarded call and raises
+:class:`~repro.exceptions.PurityViolationError` when a *pre-existing* path
+changed or disappeared.
+
+Digest semantics — what counts as a mutation:
+
+* **Growth is allowed.**  New paths (lazy memoisation: a first
+  ``StreamState``, a window-cache entry, a candidate-training cache hit)
+  are benign and expected during planning.  Dict/set entries therefore get
+  per-key paths with no length leaf.
+* **Pre-existing state is frozen.**  A changed or deleted path — a
+  ``StreamState`` advanced, a cached window rewritten, a learner replaced —
+  is a plan-phase commit and raises.
+* **List/tuple lengths are pinned**: appends shift meaning by index, so
+  sequence growth is treated as mutation (engine caches that legitimately
+  grow during planning are dict-shaped).
+* **RNG objects are opaque.**  Lazily realising a window advances the
+  stream's generators; that is part of allowed memoisation, so
+  ``numpy.random`` generator state is deliberately not fingerprinted.
+* **Numpy arrays** fingerprint as ``shape/dtype/sha1(bytes)`` — any
+  element-level write is caught.
+
+The guard digests only what it is handed.  The plan-phase hooks pass the
+shared :class:`~repro.profiles.dynamics.StreamDynamics` and the site's
+streams/spec — not the GPU fleet (placement verification legitimately
+re-reserves GPUs while planning) and not the policy's profiler (estimation
+noise drawn at plan time is part of the planned estimate, seeded and
+replayable, not engine state).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, Mapping, Set
+
+import numpy as np
+
+from ..exceptions import PurityViolationError
+
+__all__ = ["PuritySanitizer", "state_digest", "verify_digests"]
+
+#: Recursion ceiling; deeper subtrees fingerprint as an opaque leaf.
+MAX_DEPTH = 12
+
+#: How many violating paths a raised error spells out.
+_MAX_REPORTED = 6
+
+_PRIMITIVES = (bool, int, float, complex, str, bytes, type(None))
+
+
+def state_digest(obj: Any, label: str = "subject") -> Dict[str, str]:
+    """Flat ``path → fingerprint`` map of ``obj``'s reachable state."""
+    out: Dict[str, str] = {}
+    _digest(obj, label, out, seen=set(), depth=0)
+    return out
+
+
+def _digest(obj: Any, path: str, out: Dict[str, str], seen: Set[int], depth: int) -> None:
+    if depth > MAX_DEPTH:
+        out[path] = f"<depth-capped:{type(obj).__name__}>"
+        return
+    if isinstance(obj, _PRIMITIVES):
+        out[path] = repr(obj)
+        return
+    if isinstance(obj, np.ndarray):
+        data = np.ascontiguousarray(obj)
+        digest = hashlib.sha1(data.tobytes()).hexdigest()[:16]
+        out[path] = f"ndarray{obj.shape}:{obj.dtype}:{digest}"
+        return
+    if isinstance(obj, np.generic):
+        out[path] = repr(obj)
+        return
+    if isinstance(obj, (np.random.Generator, np.random.BitGenerator, np.random.SeedSequence)):
+        # Opaque by design: lazy realisation legitimately advances RNGs.
+        out[path] = f"<rng:{type(obj).__name__}>"
+        return
+    # Cycle guard keyed on object identity along the current walk only —
+    # never compared across the before/after digests, so the nondeterminism
+    # of addresses cannot leak into them.
+    marker = id(obj)  # repro: ignore[REP004] -- cycle guard, not a fingerprint
+    if marker in seen:
+        out[path] = "<cycle>"
+        return
+    seen.add(marker)
+    try:
+        if isinstance(obj, Mapping):
+            for key in obj:
+                _digest(obj[key], f"{path}[{key!r}]", out, seen, depth + 1)
+        elif isinstance(obj, (list, tuple)):
+            out[f"{path}.len"] = str(len(obj))
+            for index, item in enumerate(obj):
+                _digest(item, f"{path}[{index}]", out, seen, depth + 1)
+        elif isinstance(obj, (set, frozenset)):
+            for element in obj:
+                out[f"{path}{{{element!r}}}"] = "present"
+        elif hasattr(obj, "__dict__"):
+            for name in sorted(vars(obj)):
+                value = vars(obj)[name]
+                if callable(value) or isinstance(value, type):
+                    continue
+                _digest(value, f"{path}.{name}", out, seen, depth + 1)
+        elif hasattr(type(obj), "__slots__"):
+            for name in sorted(_all_slots(type(obj))):
+                if hasattr(obj, name):
+                    _digest(getattr(obj, name), f"{path}.{name}", out, seen, depth + 1)
+        else:
+            out[path] = f"<opaque:{type(obj).__name__}>"
+    finally:
+        seen.discard(marker)
+
+
+def _all_slots(cls: type) -> Set[str]:
+    slots: Set[str] = set()
+    for klass in cls.__mro__:
+        declared = getattr(klass, "__slots__", ())
+        if isinstance(declared, str):
+            declared = (declared,)
+        slots.update(declared)
+    return slots
+
+
+def verify_digests(
+    before: Dict[str, str],
+    after: Dict[str, str],
+    *,
+    subject: str,
+    context: str,
+) -> None:
+    """Raise :class:`PurityViolationError` if pre-existing state changed."""
+    changed = [
+        path for path, fingerprint in before.items()
+        if path in after and after[path] != fingerprint
+    ]
+    deleted = [path for path in before if path not in after]
+    if not changed and not deleted:
+        return
+    details = []
+    for path in sorted(changed)[:_MAX_REPORTED]:
+        details.append(f"  changed  {path}: {before[path]} -> {after[path]}")
+    for path in sorted(deleted)[:_MAX_REPORTED]:
+        details.append(f"  deleted  {path}: was {before[path]}")
+    total = len(changed) + len(deleted)
+    if total > len(details):
+        details.append(f"  ... and {total - len(details)} more")
+    raise PurityViolationError(
+        f"plan-phase purity violated during {context}: {subject} was mutated "
+        f"({len(changed)} changed, {len(deleted)} deleted paths)\n" + "\n".join(details)
+    )
+
+
+class PuritySanitizer:
+    """Digests subjects around plan-phase calls and raises on mutation.
+
+    Opt-in debug tooling (``make_fleet(sanitize=True)`` or the
+    ``sanitized_fleet`` pytest fixture): digesting every stream's cached
+    windows is far too slow for benchmarks, but cheap enough for the gated
+    integration scenarios.  A sanitized run that completes proves every
+    guarded plan/scan left pre-existing engine state untouched — and, by
+    the golden-parity test, that guarding itself changed nothing.
+    """
+
+    def __init__(self) -> None:
+        #: Guarded calls observed (exposed for tests/debugging).
+        self.checks = 0
+
+    @contextmanager
+    def guard(self, context: str, **subjects: Any) -> Iterator[None]:
+        """Verify that ``subjects`` are unchanged across the ``with`` body.
+
+        Verification runs only on clean exit: when the guarded call itself
+        raises, that error propagates unmasked.
+        """
+        before = {name: state_digest(obj, name) for name, obj in subjects.items()}
+        yield
+        self.checks += 1
+        for name, obj in subjects.items():
+            verify_digests(before[name], state_digest(obj, name), subject=name, context=context)

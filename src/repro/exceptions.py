@@ -50,3 +50,16 @@ class CheckpointError(ReproError):
 class FleetError(ReproError):
     """The fleet orchestration layer hit an inconsistent state (e.g. a stream
     admitted to an unknown site, or no healthy site left to evacuate to)."""
+
+
+class AnalysisError(ReproError):
+    """The determinism analyzer could not complete a pass (unparseable
+    source, a missing cross-check target such as ``docs/events.md``...)."""
+
+
+class PurityViolationError(AnalysisError):
+    """The plan-phase purity sanitizer observed a mutation: state that
+    existed before a ``plan_window`` / control-policy scan was modified or
+    deleted by it.  Plan phases must only *read* engine state (lazy
+    memoisation — new cache entries — is allowed); committing belongs to the
+    settle phase."""

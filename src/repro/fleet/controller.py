@@ -69,6 +69,7 @@ class FleetController:
         wan_faults: Optional[WanFaultModel] = None,
         telemetry: Optional["TelemetryConfig"] = None,
         control_policy: Optional[ControlPolicy] = None,
+        sanitize: bool = False,
         seed: int = 0,
     ) -> None:
         if not sites:
@@ -94,6 +95,13 @@ class FleetController:
         self._control_policy = (
             control_policy if control_policy is not None else GreedyRebalancePolicy()
         )
+        self._sanitizer = None
+        if sanitize:
+            # Local import: debug tooling layered on the engine, not a
+            # package-level engine dependency.
+            from ..analysis.sanitizer import PuritySanitizer
+
+            self._sanitizer = PuritySanitizer()
         self._departure_hook: Optional[Callable[[str, str, str], None]] = None
         self._cancellation_hook: Optional[Callable[[str, str, str], bool]] = None
         self._seed = seed
@@ -384,8 +392,22 @@ class FleetController:
         algorithm).  ``signals`` is the simulator-built
         :class:`~repro.fleet.policy.ControlSignals` snapshot for policies
         that declare ``wants_signals``; direct callers may omit it.
+
+        With ``sanitize=True`` the purity sanitizer digests the shared
+        dynamics around the whole scan: a control policy may *move* streams
+        (and a preemptive departure settles the cancelled window, a
+        dynamics no-op), but its scoring/scan phase must never commit
+        accuracy state — that is the predictive plane's plan-phase purity.
+        Site and stream state are legitimately mutated by executed
+        migrations, so only the dynamics are guarded here.
         """
-        return self._control_policy.rebalance(self, window_index, signals)
+        if self._sanitizer is None:
+            return self._control_policy.rebalance(self, window_index, signals)
+        with self._sanitizer.guard(
+            f"{self._control_policy.name} control scan (window {window_index})",
+            dynamics=self._dynamics,
+        ):
+            return self._control_policy.rebalance(self, window_index, signals)
 
     # ---------------------------------------------------------------- failure
     def fail_site(self, name: str, window_index: int) -> List[MigrationEvent]:

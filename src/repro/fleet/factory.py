@@ -130,6 +130,7 @@ def make_fleet(
     wan_faults: Optional[WanFaultModel] = None,
     telemetry: Optional[TelemetryConfig] = None,
     control_policy: Union[str, ControlPolicy] = "greedy",
+    sanitize: bool = False,
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -206,6 +207,15 @@ def make_fleet(
     ``"greedy"`` reproduces the pre-policy engine bit for bit; see
     ``docs/control_plane.md`` for the predictive plane and the A/B
     harness comparing them.
+
+    ``sanitize`` arms the plan-phase purity sanitizer
+    (:mod:`repro.analysis.sanitizer`): every site's ``plan_window`` and
+    every control-policy scan digests the shared dynamics (and the site's
+    streams) before and after, raising
+    :class:`~repro.exceptions.PurityViolationError` if planning mutated
+    pre-existing engine state.  Guarding is observational — a sanitized
+    fleet's results are bit-identical to an unsanitized one (gated by the
+    golden-parity suite) — but digesting is slow; debug/CI use only.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -267,6 +277,7 @@ def make_fleet(
                 dynamics=dynamics,
                 policy=policy,
                 verify_placement=verify_placement,
+                sanitize=sanitize,
             )
         )
     if isinstance(admission, str):
@@ -290,6 +301,7 @@ def make_fleet(
         wan_faults=wan_faults,
         telemetry=telemetry,
         control_policy=control_policy,
+        sanitize=sanitize,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

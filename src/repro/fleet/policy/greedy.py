@@ -24,6 +24,7 @@ from .base import ControlPolicy, ControlSignals
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from ..controller import FleetController
     from ..migration import MigrationEvent
+    from ..site import EdgeSite
 
 __all__ = ["GreedyRebalancePolicy"]
 
@@ -62,6 +63,25 @@ class GreedyRebalancePolicy(ControlPolicy):
             (site.name, site.num_streams, site.effective_gpus) for site in healthy
         )
 
+    @staticmethod
+    def _worst_served_stream(
+        controller: "FleetController", source: "EdgeSite", window_index: int
+    ) -> str:
+        """The source site's lowest stale-model-accuracy stream, name tie-break.
+
+        ``source`` is rebound on every pass of the rebalance loop, so the
+        selection closes over it here — inside a scope where it is fixed —
+        rather than in a loop-level lambda.
+        """
+
+        def stale_accuracy(name: str) -> Tuple[float, str]:
+            return (
+                controller.dynamics.start_accuracy(source.server.stream(name), window_index),
+                name,
+            )
+
+        return min(source.stream_names, key=stale_accuracy)
+
     def rebalance(
         self,
         controller: "FleetController",
@@ -94,15 +114,7 @@ class GreedyRebalancePolicy(ControlPolicy):
             )
             if gap_after < 0:
                 break
-            victim = min(
-                source.stream_names,
-                key=lambda name: (
-                    controller.dynamics.start_accuracy(
-                        source.server.stream(name), window_index
-                    ),
-                    name,
-                ),
-            )
+            victim = self._worst_served_stream(controller, source, window_index)
             events.append(
                 controller._migrate(victim, destination, window_index, "overload")
             )

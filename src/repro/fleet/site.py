@@ -107,11 +107,16 @@ class EdgeSite:
         dynamics: StreamDynamics,
         policy: WindowPolicy,
         verify_placement: bool = True,
+        sanitize: bool = False,
     ) -> None:
         self.spec = spec
         self._server = EdgeServer(spec.server_spec(), [], allow_empty=True)
         self._simulator = Simulator(
-            self._server, dynamics, policy, verify_placement=verify_placement
+            self._server,
+            dynamics,
+            policy,
+            verify_placement=verify_placement,
+            sanitize=sanitize,
         )
         self.healthy = True
         self.link = spec.link

@@ -241,11 +241,19 @@ class Simulator:
         policy: WindowPolicy,
         *,
         verify_placement: bool = True,
+        sanitize: bool = False,
     ) -> None:
         self._server = server
         self._dynamics = dynamics
         self._policy = policy
         self._verify_placement = verify_placement
+        self._sanitizer = None
+        if sanitize:
+            # Local import: the analysis package is debug tooling layered on
+            # top of the engine, not an engine dependency.
+            from ..analysis.sanitizer import PuritySanitizer
+
+            self._sanitizer = PuritySanitizer()
 
     @property
     def server(self) -> EdgeServer:
@@ -331,7 +339,44 @@ class Simulator:
         event), with a new completion time (reclaimed capacity accelerated
         the retraining) or as a cancellation (the stream migrated away).
         Delay parameters are shared with :meth:`run_window`.
+
+        With ``sanitize=True`` the plan-phase purity sanitizer digests the
+        dynamics, the attached streams and the server spec before and after
+        planning and raises :class:`~repro.exceptions.PurityViolationError`
+        on mutation (lazy memoisation excepted — see
+        :mod:`repro.analysis.sanitizer`).  The GPU fleet is deliberately
+        outside the digest: placement verification re-reserves GPUs while
+        planning, and those reservations are scheduler scratch, not engine
+        state.
         """
+        if self._sanitizer is None:
+            return self._plan_window(
+                window_index,
+                retraining_delays=retraining_delays,
+                window_start_seconds=window_start_seconds,
+                retraining_ready_at=retraining_ready_at,
+            )
+        with self._sanitizer.guard(
+            f"plan_window({window_index})",
+            dynamics=self._dynamics,
+            streams={stream.name: stream for stream in self._server.streams},
+            server_spec=self._server.spec,
+        ):
+            return self._plan_window(
+                window_index,
+                retraining_delays=retraining_delays,
+                window_start_seconds=window_start_seconds,
+                retraining_ready_at=retraining_ready_at,
+            )
+
+    def _plan_window(
+        self,
+        window_index: int,
+        *,
+        retraining_delays: Optional[Mapping[str, float]] = None,
+        window_start_seconds: Optional[float] = None,
+        retraining_ready_at: Optional[Mapping[str, float]] = None,
+    ) -> WindowPlan:
         spec = self._server.spec
         streams = self._server.streams
         if retraining_ready_at:

@@ -82,3 +82,21 @@ def edge_model(small_stream):
         num_classes=small_stream.taxonomy.num_classes,
     )
     return create_edge_model(spec, seed=1)
+
+
+@pytest.fixture()
+def sanitized_fleet():
+    """``make_fleet`` with the plan-phase purity sanitizer armed.
+
+    A factory fixture: call it exactly like
+    :func:`repro.fleet.factory.make_fleet`; ``sanitize=True`` is injected
+    (overridable) so every ``plan_window`` and control scan in the test is
+    purity-guarded.
+    """
+    from repro.fleet.factory import make_fleet
+
+    def build(*args, **kwargs):
+        kwargs.setdefault("sanitize", True)
+        return make_fleet(*args, **kwargs)
+
+    return build

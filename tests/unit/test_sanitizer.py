@@ -1,0 +1,152 @@
+"""Tests for the plan-phase purity sanitizer (``repro.analysis.sanitizer``).
+
+The digest semantics tests pin the contract documented in the module: growth
+is allowed, pre-existing paths are frozen, list lengths are pinned, numpy
+arrays fingerprint their bytes and RNG objects are opaque.  The guard tests
+cover the :class:`PuritySanitizer` context manager, and the injection test
+is the regression the issue asks for: a dynamics implementation that commits
+state while planning must be caught by a ``sanitize=True`` fleet.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.sanitizer import PuritySanitizer, state_digest, verify_digests
+from repro.exceptions import PurityViolationError
+from repro.profiles import AnalyticDynamics
+
+
+def _check(before_obj_digest, obj):
+    verify_digests(before_obj_digest, state_digest(obj), subject="subject", context="test")
+
+
+class TestStateDigest:
+    def test_growth_is_allowed(self):
+        cache = {"a": 1}
+        before = state_digest(cache)
+        cache["b"] = 2  # lazy memoisation: a brand-new path
+        _check(before, cache)  # does not raise
+
+    def test_changed_value_is_caught(self):
+        cache = {"a": 1}
+        before = state_digest(cache)
+        cache["a"] = 2
+        with pytest.raises(PurityViolationError, match="changed"):
+            _check(before, cache)
+
+    def test_deleted_key_is_caught(self):
+        cache = {"a": 1, "b": 2}
+        before = state_digest(cache)
+        del cache["b"]
+        with pytest.raises(PurityViolationError, match="deleted"):
+            _check(before, cache)
+
+    def test_attribute_mutation_is_caught(self):
+        class Box:
+            def __init__(self):
+                self.value = 1.0
+
+        box = Box()
+        before = state_digest(box)
+        box.value = 2.0
+        with pytest.raises(PurityViolationError, match=r"subject\.value"):
+            _check(before, box)
+
+    def test_list_length_is_pinned(self):
+        log = [1, 2]
+        before = state_digest(log)
+        log.append(3)  # appends shift meaning by index: treated as mutation
+        with pytest.raises(PurityViolationError):
+            _check(before, log)
+
+    def test_ndarray_element_write_is_caught(self):
+        arr = np.zeros(4)
+        before = state_digest(arr)
+        arr[2] = 1.0
+        with pytest.raises(PurityViolationError, match="ndarray"):
+            _check(before, arr)
+
+    def test_rng_state_is_opaque(self):
+        rng = np.random.default_rng(0)
+        before = state_digest(rng)
+        rng.random(16)  # lazy window realisation legitimately advances RNGs
+        _check(before, rng)  # does not raise
+        assert all("<rng:" in v or v for v in before.values())
+
+    def test_set_membership_growth_allowed_removal_caught(self):
+        names = {"a", "b"}
+        before = state_digest(names)
+        names.add("c")
+        _check(before, names)
+        names.discard("a")
+        with pytest.raises(PurityViolationError, match="deleted"):
+            _check(before, names)
+
+    def test_cycles_terminate(self):
+        class Node:
+            def __init__(self):
+                self.next = None
+
+        node = Node()
+        node.next = node
+        digest = state_digest(node)
+        assert "<cycle>" in digest.values()
+
+
+class TestPuritySanitizerGuard:
+    def test_clean_body_passes_and_counts(self):
+        sanitizer = PuritySanitizer()
+        cache = {"a": 1}
+        with sanitizer.guard("test scan", cache=cache):
+            _ = cache["a"]
+        assert sanitizer.checks == 1
+
+    def test_mutating_body_raises(self):
+        sanitizer = PuritySanitizer()
+        cache = {"a": 1}
+        with pytest.raises(PurityViolationError, match="test scan"):
+            with sanitizer.guard("test scan", cache=cache):
+                cache["a"] = 2
+
+    def test_body_exception_is_not_masked(self):
+        sanitizer = PuritySanitizer()
+        cache = {"a": 1}
+        with pytest.raises(ValueError, match="boom"):
+            with sanitizer.guard("test scan", cache=cache):
+                cache["a"] = 2  # mutation AND an exception: the exception wins
+                raise ValueError("boom")
+        assert sanitizer.checks == 0
+
+
+class LeakyDynamics(AnalyticDynamics):
+    """Deliberately impure: planning commits per-stream serving state."""
+
+    def start_accuracy(self, stream, window_index):
+        value = super().start_accuracy(stream, window_index)
+        state = self._state(stream)
+        state.accuracy_when_trained = value - 0.01  # the injected plan-phase commit
+        return value
+
+
+class TestInjectedMutationRegression:
+    def test_sanitized_fleet_catches_leaky_dynamics(self, sanitized_fleet):
+        fleet = sanitized_fleet(2, 1, gpus_per_site=1, seed=0)
+        site = fleet.sites[0]
+        leaky = LeakyDynamics(seed=0)
+        # Prime the per-stream state so the paths pre-exist: state *created*
+        # during the guarded plan is growth and deliberately not flagged.
+        for stream in site.streams:
+            leaky._state(stream)
+        site._simulator._dynamics = leaky
+        with pytest.raises(PurityViolationError, match="dynamics was mutated"):
+            site.plan_window(0)
+
+    def test_sanitized_fleet_accepts_pure_dynamics(self, sanitized_fleet):
+        fleet = sanitized_fleet(2, 1, gpus_per_site=1, seed=0)
+        site = fleet.sites[0]
+        plan = site.plan_window(0)
+        assert plan is not None
+        assert site._simulator._sanitizer is not None
+        assert site._simulator._sanitizer.checks == 1
