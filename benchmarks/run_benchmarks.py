@@ -54,6 +54,7 @@ from fleet_bench_core import (
     check_quick_fleet_parity,
     emit_fleet_bench_json,
     load_fleet_baseline,
+    measure_batched_fleet_planning,
     measure_failure_scenario,
     measure_fleet_scaling,
     measure_heterogeneous_fleet,
@@ -64,6 +65,7 @@ from scheduler_bench_core import (
     BENCH_JSON_PATH,
     emit_bench_json,
     load_baseline,
+    measure_batched_planner,
     measure_operating_point,
     measure_scaling,
 )
@@ -126,6 +128,46 @@ def check_against_baseline(
     return failures
 
 
+def check_batched_planner(
+    batched: dict, baseline: dict, *, compare_raw_runtime: bool = True
+) -> list:
+    """Gate the batched planner against the committed baseline.
+
+    Two machine-independent checks apply everywhere: the batched schedule
+    must be bit-identical to the scalar oracle's, and its deterministic
+    counters (iterations, PickConfigs evaluations, estimated accuracy) must
+    match the committed baseline exactly.  The same-machine speedup floor
+    (``min_speedup``, committed as 2.0 at the 100-stream point) applies in
+    full on developer machines; on CI runners — noisy shared hardware — it
+    relaxes by ``REGRESSION_FACTOR``, mirroring the wall-clock convention.
+    """
+    failures = []
+    gate = baseline.get("batched_planner", {})
+    if not batched["decisions_identical"]:
+        failures.append(
+            f"batched planner diverged from the scalar oracle at "
+            f"{batched['num_streams']} streams (decisions/counters/accuracy "
+            f"must be bit-identical)"
+        )
+    for field in ("iterations", "pick_configs_evaluations", "estimated_average_accuracy"):
+        expected = gate.get(field)
+        if expected is not None and batched[field] != expected:
+            failures.append(
+                f"batched planner {field} is {batched[field]!r}, committed "
+                f"baseline says {expected!r} (deterministic, must match exactly)"
+            )
+    floor = gate.get("min_speedup")
+    if floor:
+        required = floor if compare_raw_runtime else floor / REGRESSION_FACTOR
+        if batched["batched_speedup"] < required:
+            failures.append(
+                f"batched planner speedup {batched['batched_speedup']:.2f}x at "
+                f"{batched['num_streams']} streams fell below the committed "
+                f"floor ({required:.2f}x)"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -173,6 +215,15 @@ def main(argv=None) -> int:
         f"speedup vs seed path {operating_point['wall_clock_speedup']:.1f}x"
     )
 
+    print("measuring batched planner A/B (100 streams, scalar vs cohort-stacked)...")
+    batched = measure_batched_planner()
+    print(
+        f"  scalar {batched['scalar_runtime_seconds'] * 1000:.1f} ms | "
+        f"batched {batched['batched_runtime_seconds'] * 1000:.1f} ms | "
+        f"speedup {batched['batched_speedup']:.2f}x | "
+        f"identical {batched['decisions_identical']}"
+    )
+
     scaling = []
     fleet_scaling = []
     if args.quick:
@@ -189,7 +240,7 @@ def main(argv=None) -> int:
                 f"{row['scheduler_runtime_seconds'] * 1000:8.1f} ms | "
                 f"evaluations {row['pick_configs_evaluations']}"
             )
-        path = emit_bench_json(operating_point, scaling, args.output)
+        path = emit_bench_json(operating_point, scaling, args.output, batched=batched)
         print(f"trajectory appended to {path}")
 
         print("measuring fleet scaling sweep (1 -> 16 sites, 25 streams/site)...")
@@ -250,6 +301,16 @@ def main(argv=None) -> int:
             f"  predictive wins {policy['predictive_wins']} of "
             f"{policy['num_scenarios']} scenarios"
         )
+        print("measuring fleet cohort planning (batched on/off, 1 -> 16 sites)...")
+        batched_fleet = measure_batched_fleet_planning()
+        for row in batched_fleet["rows"]:
+            print(
+                f"  {row['num_sites']:3d} sites: per-site planning "
+                f"{row['scalar_per_site_planning_seconds'] * 1000:6.1f} -> "
+                f"{row['batched_per_site_planning_seconds'] * 1000:6.1f} ms | "
+                f"speedup {row['planning_speedup']:.2f}x | "
+                f"identical {row['summaries_identical']}"
+            )
         fleet_path = emit_fleet_bench_json(
             fleet_scaling,
             scenario,
@@ -258,6 +319,7 @@ def main(argv=None) -> int:
             profile_sharing=sharing,
             telemetry=telemetry,
             policy=policy,
+            batched_planning=batched_fleet,
         )
         print(f"fleet trajectory appended to {fleet_path}")
 
@@ -273,6 +335,9 @@ def main(argv=None) -> int:
     else:
         failures.extend(
             check_against_baseline(operating_point, baseline, compare_raw_runtime=compare_raw)
+        )
+        failures.extend(
+            check_batched_planner(batched, baseline, compare_raw_runtime=compare_raw)
         )
     fleet_baseline = load_fleet_baseline(args.fleet_baseline)
     if fleet_baseline is None:

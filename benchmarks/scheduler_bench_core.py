@@ -24,6 +24,7 @@ from bench_io import append_trajectory, load_json_if_exists
 from repro.cluster import EdgeServerSpec, GPUFleet, inference_job_id, place_jobs, retraining_job_id
 from repro.configs import ConfigurationSpace, default_inference_configs, default_retraining_grid
 from repro.core import EkyaPolicy, OracleProfileSource, ThiefScheduler
+from repro.core.batched_planner import BatchedThiefScheduler
 from repro.core.pick_configs import pick_configs_for_stream
 from repro.datasets import make_workload
 from repro.profiles import AnalyticDynamics
@@ -39,6 +40,10 @@ SEED = 0
 #: Default location of the emitted benchmark trajectory.
 BENCH_JSON_PATH = Path(__file__).resolve().parents[1] / "BENCH_scheduler.json"
 BASELINE_PATH = Path(__file__).resolve().parent / "baselines" / "scheduler_baseline.json"
+
+#: The large-fleet point the batched-planner gate measures (the scaling
+#: sweep's 100-stream point).
+BATCHED_NUM_STREAMS = 100
 
 
 def build_request(num_streams: int = NUM_STREAMS, num_gpus: int = NUM_GPUS, seed: int = SEED):
@@ -191,13 +196,70 @@ def measure_scaling(stream_counts=(10, 25, 50, 100)) -> List[Dict]:
     return rows
 
 
+def measure_batched_planner(
+    num_streams: int = BATCHED_NUM_STREAMS,
+    num_gpus: int = NUM_GPUS,
+    *,
+    repeats: int = 5,
+) -> Dict:
+    """Scalar-vs-batched thief A/B at the large-fleet point, same machine.
+
+    Runs both schedulers ``repeats`` times over the identical request —
+    interleaved, after one untimed warmup pair so neither path pays numpy's
+    first-touch costs — and keeps each path's best wall-clock (the speedup
+    is a same-machine ratio, so it stays meaningful on hardware the
+    baseline never saw).  Also checks full equivalence — decisions,
+    iteration and evaluation counters, the estimated accuracy — which the
+    committed gate requires bit for bit.
+    """
+    request = build_request(num_streams=num_streams, num_gpus=num_gpus)
+    ThiefScheduler(steal_quantum=DELTA).schedule(request)
+    BatchedThiefScheduler(steal_quantum=DELTA).schedule(request)
+    scalar_times: List[float] = []
+    batched_times: List[float] = []
+    scalar_schedule = batched_schedule = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        scalar_schedule = ThiefScheduler(steal_quantum=DELTA).schedule(request)
+        scalar_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        batched_schedule = BatchedThiefScheduler(steal_quantum=DELTA).schedule(request)
+        batched_times.append(time.perf_counter() - started)
+    identical = (
+        scalar_schedule.iterations == batched_schedule.iterations
+        and scalar_schedule.pick_configs_evaluations
+        == batched_schedule.pick_configs_evaluations
+        and scalar_schedule.estimated_average_accuracy
+        == batched_schedule.estimated_average_accuracy
+        and scalar_schedule.decisions == batched_schedule.decisions
+    )
+    scalar_runtime = min(scalar_times)
+    batched_runtime = min(batched_times)
+    return {
+        "num_streams": num_streams,
+        "num_gpus": num_gpus,
+        "repeats": repeats,
+        "scalar_runtime_seconds": scalar_runtime,
+        "batched_runtime_seconds": batched_runtime,
+        "batched_speedup": scalar_runtime / batched_runtime,
+        "decisions_identical": identical,
+        "iterations": batched_schedule.iterations,
+        "pick_configs_evaluations": batched_schedule.pick_configs_evaluations,
+        "estimated_average_accuracy": batched_schedule.estimated_average_accuracy,
+    }
+
+
 def emit_bench_json(
     operating_point: Dict,
     scaling: List[Dict],
     path: Optional[Path] = None,
+    *,
+    batched: Optional[Dict] = None,
 ) -> Path:
     """Append one timestamped entry to the ``BENCH_scheduler.json`` trajectory."""
     entry = {"operating_point": operating_point, "scaling": scaling}
+    if batched is not None:
+        entry["batched_planner"] = batched
     return append_trajectory(path if path is not None else BENCH_JSON_PATH, entry)
 
 

@@ -1,0 +1,747 @@
+"""Fleet-batched planning: the thief scheduler over stacked lattice tensors.
+
+:mod:`repro.core.candidate_table` vectorised Algorithm 2 *within* one stream:
+a lattice column — every retraining level at one inference level — is a single
+masked argmax.  This module batches *across* streams (and, at the fleet layer,
+across every site whose ``WindowBoundary`` fires at the same instant): all
+pending columns are stacked into one numpy evaluation over
+``(row, retraining_level, retraining_config)`` tensors, where a *row* is one
+``(site, stream, inference_level)`` triple.  Per-row scalars (window length,
+a_min, quantum, lattice size) broadcast elementwise, so heterogeneous sites —
+different GPU counts, degraded capacity, different window durations — stack
+into the same call.
+
+Correctness contract: the scalar path (:class:`~repro.core.thief.
+ThiefScheduler` over per-stream :class:`~repro.core.candidate_table.
+CandidateTable` columns, with :func:`repro.core.pick_configs.pick_configs` as
+the root oracle) remains the reference, and
+:class:`BatchedThiefScheduler` is **bit-identical** to it: same decisions,
+same estimated accuracies, same iteration and evaluation counters.  Two rules
+make that hold:
+
+* every stacked operation is an IEEE-exact elementwise twin (add/sub/mul/div/
+  min/max/compare) of the scalar op on the same operands — vectorisation
+  cannot change those results;
+* anything transcendental (the under-provisioned inference power law) stays
+  on the scalar code path shared with :class:`CandidateTable`, and every
+  epsilon-near-tie or below-a_min level runs the *reference* candidate scan —
+  ``_sequential_select``'s automaton — elementwise across all pending levels,
+  looping only over the config axis, so its comparisons are the scalar
+  loop's verbatim.
+
+The property suite (``tests/property/test_property_batched_planner.py``)
+fuzzes randomized fleets against the oracle to enforce the contract.
+
+Why batching wins: the thief's steal trajectories visit only a handful of
+distinct inference levels, but visit them for *every* stream.  Computing a
+missed column for all of a cohort's streams at once replaces hundreds of
+small per-stream numpy dispatches with a few large ones; the speculative
+columns land in each table's memo, where the sibling streams' queries find
+them.  ``pick_configs_evaluations`` keeps the oracle's meaning — distinct
+columns actually *queried* — so the counter is comparable across both paths.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..cluster.jobs import inference_job_id, retraining_job_id
+from ..exceptions import SchedulingError
+from ..utils.clock import Stopwatch
+from ..utils.math_utils import safe_mean
+from .candidate_table import CandidateTable, _Column, build_candidate_tables
+from .pick_configs import IMPROVEMENT_EPS as _IMPROVEMENT_EPS
+from .thief import ThiefScheduler
+from .types import ScheduleRequest, WindowSchedule
+
+
+class _HeavyRow:
+    """One non-trivial column in a stacked batch (lattice has room to retrain)."""
+
+    __slots__ = (
+        "table",
+        "units",
+        "inference_index",
+        "factor_during",
+        "accuracy_during",
+        "base_meets",
+        "max_level",
+        "num_configs",
+    )
+
+    def __init__(
+        self,
+        table: CandidateTable,
+        units: int,
+        inference_index: int,
+        factor_during: float,
+        accuracy_during: float,
+        base_meets: bool,
+        max_level: int,
+        num_configs: int,
+    ) -> None:
+        self.table = table
+        self.units = units
+        self.inference_index = inference_index
+        self.factor_during = factor_during
+        self.accuracy_during = accuracy_during
+        self.base_meets = base_meets
+        self.max_level = max_level
+        self.num_configs = num_configs
+
+
+class _ScratchPool:
+    """Reusable backing buffers for the stacked ``(row, level, config)`` math.
+
+    A 100-stream cohort call builds a dozen ~1 MiB tensors; allocating them
+    fresh on every call makes page faults, not arithmetic, the dominant cost
+    (4 cohort calls per schedule → ~50 MiB of first-touch traffic).  Each
+    named slot hands back a view over a grow-only flat buffer instead, so
+    repeat calls run entirely on warm pages.  The pool only ever changes
+    *where* a temporary lives, never its value, so bit-identity with the
+    scalar oracle is untouched.  The planner runs on the single-threaded
+    event loop; the pool is not thread-safe by design.
+    """
+
+    __slots__ = ("_buffers",)
+
+    def __init__(self) -> None:
+        self._buffers: Dict[str, np.ndarray] = {}
+
+    def take(self, tag: str, shape: Tuple[int, ...], dtype: type) -> np.ndarray:
+        size = 1
+        for dim in shape:
+            size *= dim
+        buffer = self._buffers.get(tag)
+        if buffer is None or buffer.size < size or buffer.dtype != dtype:
+            buffer = np.empty(max(size, 1), dtype=dtype)
+            self._buffers[tag] = buffer
+        return buffer[:size].reshape(shape)
+
+
+_SCRATCH = _ScratchPool()
+
+
+def compute_columns_batched(rows: Sequence[Tuple[CandidateTable, int]]) -> None:
+    """Seed many tables' lattice columns from one stacked evaluation.
+
+    Each ``(table, inference_units)`` pair gets exactly the :class:`_Column`
+    that ``table._compute_column(inference_units)`` would produce — the
+    stacked arithmetic mirrors it operation-for-operation — written into the
+    table's memo.  Pairs whose column is already memoised are skipped, and
+    ``table.evaluations`` is *not* touched: the batched scheduler counts
+    queries itself, so the counter keeps the oracle's first-query semantics.
+    """
+    pending: List[Tuple[CandidateTable, int]] = []
+    seen = set()
+    for table, units in rows:
+        if units in table._columns:
+            continue
+        key = (table, units)
+        if key in seen:
+            continue
+        seen.add(key)
+        if not 0 <= units <= table._total_units:
+            raise SchedulingError(
+                f"inference_units {units} outside lattice [0, {table._total_units}]"
+            )
+        pending.append((table, units))
+    if not pending:
+        return
+
+    # ---- inference-config pick, stacked (twin of _pick_inference_index).
+    # Padding: demands +inf (never fits, never argmin), factors -inf (never
+    # argmax), above_min False — padded slots can never win a tie-break.
+    num_rows = len(pending)
+    max_inference = max(len(table._demands_list) for table, _ in pending)
+    demands = np.full((num_rows, max_inference), np.inf, dtype=float)
+    base_factors = np.full((num_rows, max_inference), -np.inf, dtype=float)
+    above_min = np.zeros((num_rows, max_inference), dtype=bool)
+    inference_gpu = np.empty(num_rows, dtype=float)
+    for row, (table, units) in enumerate(pending):
+        count = len(table._demands_list)
+        demands[row, :count] = table._demands
+        base_factors[row, :count] = table._base_factors
+        above_min[row, :count] = table._above_min
+        inference_gpu[row] = units * table._quantum
+    fitting = demands <= inference_gpu[:, None] + 1e-9
+    any_fitting = fitting.any(axis=1)
+    pool = fitting & above_min
+    pool = np.where(pool.any(axis=1)[:, None], pool, fitting)
+    fitting_index = np.argmax(np.where(pool, base_factors, -np.inf), axis=1)
+    fallback_index = np.argmin(demands, axis=1)
+    inference_index = np.where(any_fitting, fitting_index, fallback_index)
+
+    # ---- scalar prologue per row (pure-Python floats, as in the oracle).
+    heavy: List[_HeavyRow] = []
+    for row, (table, units) in enumerate(pending):
+        index = int(inference_index[row])
+        factor_during = table._effective_factor(index, units * table._quantum)
+        accuracy_during = float(min(max(table._start * factor_during, 0.0), 1.0))
+        base_meets = accuracy_during + 1e-9 >= table._a_min
+        max_level = table._total_units - units
+        num_configs = len(table._retraining_configs)
+        if max_level < 1 or num_configs == 0:
+            accuracy = np.full(max_level + 1, accuracy_during, dtype=float)
+            choice = np.full(max_level + 1, -1, dtype=np.int64)
+            table._columns[units] = _Column(index, accuracy.tolist(), choice.tolist())
+            continue
+        heavy.append(
+            _HeavyRow(
+                table,
+                units,
+                index,
+                factor_during,
+                accuracy_during,
+                base_meets,
+                max_level,
+                num_configs,
+            )
+        )
+    if not heavy:
+        return
+
+    # ---- stacked (row, level, config) evaluation.  Padded configs carry
+    # gpu_seconds = 0, so `completes` is False and they mask to -inf; padded
+    # levels hold valid positive allocations (the lattice just ends earlier
+    # for that row) and are sliced away before write-back.
+    num_heavy = len(heavy)
+    max_levels = max(item.max_level for item in heavy)
+    max_configs = max(item.num_configs for item in heavy)
+    post = np.zeros((num_heavy, max_configs), dtype=float)
+    gpu_seconds = np.zeros((num_heavy, max_configs), dtype=float)
+    quanta = np.empty(num_heavy, dtype=float)
+    windows = np.empty(num_heavy, dtype=float)
+    a_mins = np.empty(num_heavy, dtype=float)
+    accuracy_during_col = np.empty(num_heavy, dtype=float)
+    for row, item in enumerate(heavy):
+        table = item.table
+        post[row, : item.num_configs] = table._post
+        gpu_seconds[row, : item.num_configs] = table._gpu_seconds
+        quanta[row] = table._quantum
+        windows[row] = table._window
+        a_mins[row] = table._a_min
+        accuracy_during_col[row] = item.accuracy_during
+
+    retraining_gpus = np.arange(1, max_levels + 1, dtype=float)[None, :] * quanta[:, None]
+
+    # Post-retraining inference factor.  With release the retraining share
+    # rejoins inference after the window, so the factor depends on the level
+    # only for rows whose *smallest* post-window share (level 1 — post_gpus
+    # grows monotonically) still under-provisions the chosen config; those
+    # run the scalar power law (shared with CandidateTable) for bit-identity.
+    # Without release it is the prologue's factor_during verbatim.  Nearly
+    # every row is level-constant, which collapses the factor — and
+    # everything derived from it alone — from (row, level, config) tensors
+    # to (row, config) matrices.
+    factor_row = np.empty(num_heavy, dtype=float)
+    varying: List[int] = []
+    for row, item in enumerate(heavy):
+        table = item.table
+        index = item.inference_index
+        if table._release:
+            factor_row[row] = table._base_list[index]
+            demand = table._demands_list[index]
+            if (
+                demand > 0
+                and inference_gpu_of(table, item.units) + retraining_gpus[row, 0] < demand
+            ):
+                varying.append(row)
+        else:
+            factor_row[row] = item.factor_during
+
+    # estimate_batch_average_accuracy, elementwise with per-row scalars.
+    # Every op below is the scalar estimate's IEEE twin on the same
+    # operands; in-place variants and the shared `window_remainder`
+    # subexpression change only where intermediates live, never their bits.
+    # `average` and `meets` are only ever consumed where `completes` holds —
+    # the fast path masks with ``completes & meets`` and the reference
+    # automaton gates every state update on completes — so the scalar
+    # estimate's non-completing fallback branch never needs materialising.
+    windows3 = windows[:, None, None]
+    acc_during3 = accuracy_during_col[:, None, None]
+    shape3 = (num_heavy, max_levels, max_configs)
+    duration = np.divide(
+        gpu_seconds[:, None, :],
+        retraining_gpus[:, :, None],
+        out=_SCRATCH.take("duration", shape3, float),
+    )
+    completes = np.less(duration, windows3, out=_SCRATCH.take("completes", shape3, bool))
+    completes &= (gpu_seconds > 0)[:, None, :]
+    if varying:
+        factor_after = np.empty((num_heavy, max_levels), dtype=float)
+        factor_after[:] = factor_row[:, None]
+        for row in varying:
+            item = heavy[row]
+            table = item.table
+            index = item.inference_index
+            demand = table._demands_list[index]
+            post_gpus = inference_gpu_of(table, item.units) + retraining_gpus[row]
+            for level in np.nonzero(post_gpus < demand)[0].tolist():
+                factor_after[row, level] = table._effective_factor(
+                    index, float(post_gpus[level])
+                )
+        accuracy_after = np.multiply(
+            post[:, None, :],
+            factor_after[:, :, None],
+            out=_SCRATCH.take("accuracy_after", shape3, float),
+        )
+        np.maximum(accuracy_after, 0.0, out=accuracy_after)
+        np.minimum(accuracy_after, 1.0, out=accuracy_after)
+        tail_after = accuracy_after
+    else:
+        accuracy_after = None
+        accuracy_after2 = post * factor_row[:, None]
+        np.maximum(accuracy_after2, 0.0, out=accuracy_after2)
+        np.minimum(accuracy_after2, 1.0, out=accuracy_after2)
+        tail_after = accuracy_after2[:, None, :]
+    # ``windows3 - duration`` feeds both the weighted tail and total_time in
+    # the scalar estimate; computing it once reuses identical bits.
+    window_remainder = np.subtract(
+        windows3, duration, out=_SCRATCH.take("window_remainder", shape3, float)
+    )
+    weighted = np.multiply(
+        duration, acc_during3, out=_SCRATCH.take("weighted", shape3, float)
+    )
+    weighted += np.multiply(
+        window_remainder, tail_after, out=_SCRATCH.take("tail", shape3, float)
+    )
+    total_time = np.add(duration, window_remainder, out=window_remainder)
+    average = np.divide(weighted, total_time, out=weighted)
+    if accuracy_after is not None:
+        minimum = np.minimum(acc_during3, accuracy_after, out=accuracy_after)
+        minimum += 1e-9
+        meets3: Optional[np.ndarray] = np.greater_equal(
+            minimum, a_mins[:, None, None], out=_SCRATCH.take("meets", shape3, bool)
+        )
+        meets2: Optional[np.ndarray] = None
+    else:
+        minimum2 = np.minimum(accuracy_during_col[:, None], accuracy_after2, out=accuracy_after2)
+        minimum2 += 1e-9
+        meets3 = None
+        meets2 = minimum2 >= a_mins[:, None]
+
+    base_meets_col = np.array([item.base_meets for item in heavy], dtype=bool)
+    max_level_col = np.array([item.max_level for item in heavy], dtype=np.int64)
+    level_valid = np.arange(max_levels, dtype=np.int64)[None, :] < max_level_col[:, None]
+
+    result_choice = np.full((num_heavy, max_levels), -1, dtype=np.int64)
+    result_accuracy = np.empty((num_heavy, max_levels), dtype=float)
+    result_accuracy[:] = accuracy_during_col[:, None]
+    scan = level_valid.copy()
+
+    # Fast path (rows whose base accuracy meets a_min): non-meeting
+    # candidates can never displace a meeting incumbent, so the winner is a
+    # masked argmax per level — exactly as CandidateTable — and only levels
+    # whose eligible values near-tie within the improvement epsilon fall
+    # through to the reference scan.
+    fast = np.nonzero(base_meets_col)[0]
+    if fast.size:
+        if fast.size == num_heavy:
+            # All rows take the fast path (the common cohort shape): skip
+            # the fancy-index copies and mask eligibility in scratch —
+            # value-identical to np.where over the fast subset.
+            if meets3 is not None:
+                eligible = np.logical_and(
+                    completes, meets3, out=_SCRATCH.take("eligible", shape3, bool)
+                )
+            else:
+                eligible = np.logical_and(
+                    completes,
+                    meets2[:, None, :],
+                    out=_SCRATCH.take("eligible", shape3, bool),
+                )
+            masked = _SCRATCH.take("masked", shape3, float)
+            masked.fill(-np.inf)
+            np.copyto(masked, average, where=eligible)
+            acc_fast = accuracy_during_col
+            valid_fast = level_valid
+        else:
+            meets_fast = meets3[fast] if meets3 is not None else meets2[fast][:, None, :]
+            masked = np.where(completes[fast] & meets_fast, average[fast], -np.inf)
+            acc_fast = accuracy_during_col[fast]
+            valid_fast = level_valid[fast]
+        best_j = np.argmax(masked, axis=2)
+        best_vals = np.take_along_axis(masked, best_j[:, :, None], axis=2)[:, :, 0]
+        has_eligible = best_vals > -np.inf
+        ties = np.greater_equal(
+            masked,
+            (best_vals - _IMPROVEMENT_EPS)[:, :, None],
+            out=_SCRATCH.take("ties", masked.shape, bool),
+        )
+        ties &= np.not_equal(
+            masked,
+            best_vals[:, :, None],
+            out=_SCRATCH.take("tie_not_equal", masked.shape, bool),
+        )
+        near_tie = ties.any(axis=2)
+        accept = (
+            valid_fast
+            & has_eligible
+            & ~near_tie
+            & (best_vals > acc_fast[:, None] + _IMPROVEMENT_EPS)
+        )
+        result_choice[fast] = np.where(accept, best_j, np.int64(-1))
+        result_accuracy[fast] = np.where(accept, best_vals, acc_fast[:, None])
+        scan[fast] = valid_fast & has_eligible & near_tie
+
+    # Every remaining level runs the reference candidate scan — the
+    # _sequential_select automaton — elementwise across all scan elements,
+    # looping only over the config axis.  The state updates are the scalar
+    # loop's comparisons verbatim, so the result is bit-identical.
+    scan_rows, scan_levels = np.nonzero(scan)
+    if scan_rows.size:
+        avg_scan = average[scan_rows, scan_levels]
+        completes_scan = completes[scan_rows, scan_levels]
+        meets_scan = (
+            meets3[scan_rows, scan_levels] if meets3 is not None else meets2[scan_rows]
+        )
+        state_avg = accuracy_during_col[scan_rows]
+        state_meets = base_meets_col[scan_rows]
+        state_j = np.full(scan_rows.size, -1, dtype=np.int64)
+        for config in range(max_configs):
+            cand_avg = avg_scan[:, config]
+            cand_meets = meets_scan[:, config]
+            better = cand_avg > state_avg + _IMPROVEMENT_EPS
+            flips_up = cand_meets & ~state_meets
+            better = np.where(
+                flips_up, (cand_avg >= state_avg - _IMPROVEMENT_EPS) | better, better
+            )
+            better &= ~(~cand_meets & state_meets)
+            update = completes_scan[:, config] & better
+            state_avg = np.where(update, cand_avg, state_avg)
+            state_meets = np.where(update, cand_meets, state_meets)
+            state_j = np.where(update, np.int64(config), state_j)
+        result_choice[scan_rows, scan_levels] = state_j
+        result_accuracy[scan_rows, scan_levels] = state_avg
+
+    # ---- write-back per row (level 0 is the no-retraining base point).
+    accuracy_rows = result_accuracy.tolist()
+    choice_rows = result_choice.tolist()
+    for row, item in enumerate(heavy):
+        levels = item.max_level
+        accuracy = [item.accuracy_during]
+        accuracy.extend(accuracy_rows[row][:levels])
+        choice = [-1]
+        choice.extend(choice_rows[row][:levels])
+        item.table._columns[item.units] = _Column(item.inference_index, accuracy, choice)
+
+
+def inference_gpu_of(table: CandidateTable, units: int) -> float:
+    """The scalar path's ``inference_units * quantum`` product, verbatim."""
+    return units * table._quantum
+
+
+class _CohortContext:
+    """Per-request state for one sweep of the batched thief."""
+
+    __slots__ = (
+        "request",
+        "stream_names",
+        "tables_list",
+        "column_maps",
+        "units",
+        "base_runtime",
+    )
+
+    def __init__(
+        self,
+        request: ScheduleRequest,
+        stream_names: List[str],
+        tables_list: List[CandidateTable],
+        units: List[int],
+    ) -> None:
+        self.request = request
+        self.stream_names = stream_names
+        self.tables_list = tables_list
+        self.column_maps = [table._columns for table in tables_list]
+        self.units = units
+        self.base_runtime = 0.0
+
+
+class BatchedThiefScheduler(ThiefScheduler):
+    """The thief scheduler with cross-stream (and cross-site) column batching.
+
+    Bit-identical to :class:`~repro.core.thief.ThiefScheduler` — same steal
+    trajectory, same decisions, accuracies and counters — but every lattice
+    column the trajectory misses is computed for *all* streams of the cohort
+    in one stacked numpy call (:func:`compute_columns_batched`), and the
+    steal loop itself runs on flat integer lists instead of the allocation
+    vector's dict operations.  :meth:`schedule_cohort` extends the batch
+    across many requests: all same-instant sites' fair-start columns stack
+    into a single ``(site, stream, level, config)`` evaluation before the
+    per-site sweeps run.
+
+    ``scheduler_runtime_seconds`` attributes the shared cohort precompute
+    evenly across the cohort's requests; with a
+    :class:`~repro.utils.clock.ManualClock` it is 0.0 either way.
+    """
+
+    name = "ekya-thief-batched"
+
+    def schedule(self, request: ScheduleRequest) -> WindowSchedule:
+        return self.schedule_cohort({"": request})[""]
+
+    def schedule_cohort(
+        self, requests: Mapping[str, ScheduleRequest]
+    ) -> Dict[str, WindowSchedule]:
+        """Plan every request of one boundary cohort; keys are preserved."""
+        if not requests:
+            return {}
+        contexts: List[Tuple[str, _CohortContext]] = []
+        prepare_elapsed: List[float] = []
+        fair_rows: List[Tuple[CandidateTable, int]] = []
+        for key, request in requests.items():
+            watch = Stopwatch(self._clock)
+            context = self._prepare(request)
+            contexts.append((key, context))
+            prepare_elapsed.append(watch.elapsed())
+            for index, table in enumerate(context.tables_list):
+                fair_rows.append((table, context.units[2 * index]))
+        shared_watch = Stopwatch(self._clock)
+        compute_columns_batched(fair_rows)
+        shared = shared_watch.elapsed() / len(contexts)
+        schedules: Dict[str, WindowSchedule] = {}
+        for (key, context), prepared in zip(contexts, prepare_elapsed):
+            context.base_runtime = prepared + shared
+            schedules[key] = self._sweep(context)
+        return schedules
+
+    # ----------------------------------------------------------------- setup
+    def _prepare(self, request: ScheduleRequest) -> _CohortContext:
+        quantum = self._steal_quantum if self._steal_quantum is not None else request.delta
+        quantum = min(quantum, request.total_gpus)
+        allocation = self.fair_start(request, quantum)
+        tables = build_candidate_tables(
+            request.streams,
+            window_seconds=request.window_seconds,
+            a_min=request.a_min,
+            quantum=allocation.quantum,
+            total_units=allocation.total_units,
+            release_retraining_gpu_to_inference=self._release,
+        )
+        stream_names = list(request.streams)
+        tables_list = [tables[name] for name in stream_names]
+        units: List[int] = []
+        for name in stream_names:
+            units.append(allocation.units(inference_job_id(name)))
+            units.append(allocation.units(retraining_job_id(name)))
+        return _CohortContext(request, stream_names, tables_list, units)
+
+    # ----------------------------------------------------------------- sweep
+    def _sweep(self, context: _CohortContext) -> WindowSchedule:
+        watch = Stopwatch(self._clock)
+        request = context.request
+        tables_list = context.tables_list
+        column_maps = context.column_maps
+        units = context.units
+        num_streams = len(tables_list)
+        num_jobs = 2 * num_streams
+        patience = self._patience
+        eps = _IMPROVEMENT_EPS
+
+        # Per-stream accuracy rows actually *queried* so far: a miss here is
+        # exactly one oracle evaluation (the memo may hold speculatively
+        # batched columns the count must not include until queried).  Levels
+        # are dense small ints, so a flat list per stream turns the hot
+        # loop's row lookup into an index instead of a dict probe.
+        queried: List[List[Optional[List[float]]]] = [
+            [None] * (table._total_units + 1) for table in tables_list
+        ]
+        evaluations = 0
+
+        def load(stream: int, level: int) -> List[float]:
+            column = column_maps[stream].get(level)
+            if column is None:
+                compute_columns_batched([(table, level) for table in tables_list])
+                column = column_maps[stream][level]
+            row = column.accuracy
+            queried[stream][level] = row
+            return row
+
+        accuracy_of: List[float] = []
+        for stream in range(num_streams):
+            evaluations += 1
+            row = load(stream, units[2 * stream])
+            accuracy_of.append(row[units[2 * stream + 1]])
+        accuracy_sum = sum(accuracy_of)
+        best_accuracy = accuracy_sum / num_streams
+        iterations = 1
+
+        # The sweep below is the scalar thief loop with the allocation vector
+        # flattened into local integers: a steal touches at most four unit
+        # counters (thief/victim × inference/retraining), so each (thief,
+        # victim) pair tracks them as locals and writes back once.  A column
+        # row is re-fetched only when its stream's *inference* level moved —
+        # the only key a column depends on.  Zero-unit victims are skipped
+        # outright: the scalar path's steal fails immediately for them, and
+        # only the thief gains units mid-sweep, so the skip is
+        # trajectory-identical.
+        for _ in range(self._max_rounds):
+            improved_in_round = False
+            for thief_job in range(num_jobs):
+                thief_stream = thief_job >> 1
+                thief_inf = thief_stream * 2
+                thief_ret = thief_inf + 1
+                thief_rows = queried[thief_stream]
+                thief_is_inf = thief_job == thief_inf
+                for victim_job, victim_units in enumerate(units):
+                    if victim_units == 0 or victim_job == thief_job:
+                        continue
+                    victim_stream = victim_job >> 1
+                    thief_inf_units = units[thief_inf]
+                    thief_ret_units = units[thief_ret]
+                    acc_thief = accuracy_of[thief_stream]
+                    misses = 0
+                    pending = 0
+                    if victim_stream == thief_stream:
+                        # Intra-stream: units move between one stream's own
+                        # inference and retraining jobs.
+                        while True:
+                            if thief_is_inf:
+                                if thief_ret_units == 0:
+                                    break
+                                thief_ret_units -= 1
+                                thief_inf_units += 1
+                            else:
+                                if thief_inf_units == 0:
+                                    break
+                                thief_inf_units -= 1
+                                thief_ret_units += 1
+                            pending += 1
+                            iterations += 1
+                            row = thief_rows[thief_inf_units]
+                            if row is None:
+                                evaluations += 1
+                                row = load(thief_stream, thief_inf_units)
+                            new_thief = row[thief_ret_units]
+                            new_sum = accuracy_sum - acc_thief + new_thief
+                            accuracy = new_sum / num_streams
+                            if accuracy > best_accuracy + eps:
+                                acc_thief = new_thief
+                                accuracy_sum = new_sum
+                                best_accuracy = accuracy
+                                pending = 0
+                                misses = 0
+                                improved_in_round = True
+                            else:
+                                misses += 1
+                                if misses >= patience:
+                                    break
+                        if pending:
+                            if thief_is_inf:
+                                thief_inf_units -= pending
+                                thief_ret_units += pending
+                            else:
+                                thief_inf_units += pending
+                                thief_ret_units -= pending
+                        units[thief_inf] = thief_inf_units
+                        units[thief_ret] = thief_ret_units
+                        accuracy_of[thief_stream] = acc_thief
+                        continue
+                    victim_inf = victim_stream * 2
+                    victim_ret = victim_inf + 1
+                    victim_rows = queried[victim_stream]
+                    victim_is_inf = victim_job == victim_inf
+                    victim_inf_units = units[victim_inf]
+                    victim_ret_units = units[victim_ret]
+                    acc_victim = accuracy_of[victim_stream]
+                    if thief_is_inf:
+                        thief_row = None
+                    else:
+                        # Retraining thief: its inference level is fixed for
+                        # the whole pair, so its column row is too.
+                        thief_row = thief_rows[thief_inf_units]
+                        if thief_row is None:
+                            evaluations += 1
+                            thief_row = load(thief_stream, thief_inf_units)
+                    if victim_is_inf:
+                        victim_row = None
+                    else:
+                        victim_row = victim_rows[victim_inf_units]
+                        if victim_row is None:
+                            evaluations += 1
+                            victim_row = load(victim_stream, victim_inf_units)
+                    while True:
+                        if victim_is_inf:
+                            if victim_inf_units == 0:
+                                break
+                            victim_inf_units -= 1
+                            victim_row = victim_rows[victim_inf_units]
+                            if victim_row is None:
+                                evaluations += 1
+                                victim_row = load(victim_stream, victim_inf_units)
+                        else:
+                            if victim_ret_units == 0:
+                                break
+                            victim_ret_units -= 1
+                        if thief_is_inf:
+                            thief_inf_units += 1
+                            thief_row = thief_rows[thief_inf_units]
+                            if thief_row is None:
+                                evaluations += 1
+                                thief_row = load(thief_stream, thief_inf_units)
+                        else:
+                            thief_ret_units += 1
+                        pending += 1
+                        iterations += 1
+                        new_thief = thief_row[thief_ret_units]
+                        new_sum = accuracy_sum - acc_thief + new_thief
+                        new_victim = victim_row[victim_ret_units]
+                        new_sum += new_victim - acc_victim
+                        accuracy = new_sum / num_streams
+                        if accuracy > best_accuracy + eps:
+                            acc_thief = new_thief
+                            acc_victim = new_victim
+                            accuracy_sum = new_sum
+                            best_accuracy = accuracy
+                            pending = 0
+                            misses = 0
+                            improved_in_round = True
+                        else:
+                            misses += 1
+                            if misses >= patience:
+                                break
+                    if pending:
+                        if victim_is_inf:
+                            victim_inf_units += pending
+                        else:
+                            victim_ret_units += pending
+                        if thief_is_inf:
+                            thief_inf_units -= pending
+                        else:
+                            thief_ret_units -= pending
+                    units[thief_inf] = thief_inf_units
+                    units[thief_ret] = thief_ret_units
+                    units[victim_inf] = victim_inf_units
+                    units[victim_ret] = victim_ret_units
+                    accuracy_of[thief_stream] = acc_thief
+                    accuracy_of[victim_stream] = acc_victim
+            if not improved_in_round:
+                break
+
+        decisions = {}
+        for stream, name in enumerate(context.stream_names):
+            inference_units = units[2 * stream]
+            if queried[stream][inference_units] is None:
+                # Unreachable in practice (the final lattice point was always
+                # queried), but keeps the counter oracle-exact regardless.
+                evaluations += 1
+                load(stream, inference_units)
+            decisions[name] = tables_list[stream].decision(
+                inference_units, units[2 * stream + 1]
+            )
+        schedule = WindowSchedule(
+            window_index=request.window_index,
+            decisions=decisions,
+            estimated_average_accuracy=safe_mean(
+                [d.estimated_average_accuracy for d in decisions.values()]
+            ),
+            scheduler_runtime_seconds=context.base_runtime + watch.elapsed(),
+            iterations=iterations,
+            pick_configs_evaluations=evaluations,
+        )
+        schedule.validate_against(request)
+        return schedule

@@ -25,6 +25,7 @@ from ..datasets.stream import VideoStream
 from ..exceptions import SchedulingError
 from ..utils.clock import Clock, Stopwatch
 from .baselines import even_stream_share
+from .batched_planner import BatchedThiefScheduler
 from .microprofiler import ProfileSource
 from .pick_configs import pick_configs
 from .policy import ProfiledPolicy
@@ -46,12 +47,19 @@ class EkyaPolicy(ProfiledPolicy):
         fixed_retraining_config: Optional[RetrainingConfig] = None,
         name: Optional[str] = None,
         clock: Optional[Clock] = None,
+        batched_planning: bool = False,
     ) -> None:
         super().__init__(profile_source, config_space)
         if not 0.0 < inference_share_when_fixed < 1.0:
             raise SchedulingError("inference_share_when_fixed must be in (0, 1)")
+        if batched_planning and fixed_resources:
+            # Fixed-resource ablation never runs the thief, so the batched
+            # scheduler would be a silently dead flag.
+            raise SchedulingError("batched_planning is incompatible with fixed_resources")
         self._clock = clock
-        self._scheduler = ThiefScheduler(steal_quantum=steal_quantum, clock=clock)
+        scheduler_cls = BatchedThiefScheduler if batched_planning else ThiefScheduler
+        self._scheduler = scheduler_cls(steal_quantum=steal_quantum, clock=clock)
+        self._batched_planning = batched_planning
         self._fixed_resources = fixed_resources
         self._inference_share = inference_share_when_fixed
         self._fixed_config = fixed_retraining_config
@@ -65,15 +73,46 @@ class EkyaPolicy(ProfiledPolicy):
             self.name = "ekya"
 
     # ------------------------------------------------------------- interface
+    @property
+    def batched_planning(self) -> bool:
+        return self._batched_planning
+
+    @property
+    def scheduler(self) -> ThiefScheduler:
+        """The thief scheduler instance planning this policy's windows.
+
+        With ``batched_planning=True`` this is a
+        :class:`~repro.core.batched_planner.BatchedThiefScheduler`, whose
+        ``schedule_cohort`` the fleet event loop feeds whole same-instant
+        boundary cohorts (requests built via :meth:`prepare_request`).
+        """
+        return self._scheduler
+
+    def prepare_request(
+        self,
+        streams: Sequence[VideoStream],
+        window_index: int,
+        spec: EdgeServerSpec,
+    ) -> ScheduleRequest:
+        """Build (and profile) this window's request without solving it.
+
+        The profiling half of :meth:`plan_window`: all profile-source side
+        effects (micro-profiling cost, estimator-error draws) happen here,
+        in call order, so a fleet that batches many sites' *solves* into one
+        call still profiles site by site exactly as the scalar path does.
+        """
+        request = self.build_request(streams, window_index, spec)
+        if self._fixed_config is not None:
+            request = self._restrict_to_fixed_config(request)
+        return request
+
     def plan_window(
         self,
         streams: Sequence[VideoStream],
         window_index: int,
         spec: EdgeServerSpec,
     ) -> WindowSchedule:
-        request = self.build_request(streams, window_index, spec)
-        if self._fixed_config is not None:
-            request = self._restrict_to_fixed_config(request)
+        request = self.prepare_request(streams, window_index, spec)
         if self._fixed_resources:
             return self._plan_with_fixed_resources(request)
         return self._scheduler.schedule(request)

@@ -131,6 +131,7 @@ def make_fleet(
     telemetry: Optional[TelemetryConfig] = None,
     control_policy: Union[str, ControlPolicy] = "greedy",
     sanitize: bool = False,
+    batched_planning: bool = False,
 ) -> FleetController:
     """Build a fleet of Ekya sites with the initial workload already admitted.
 
@@ -216,6 +217,15 @@ def make_fleet(
     pre-existing engine state.  Guarding is observational — a sanitized
     fleet's results are bit-identical to an unsanitized one (gated by the
     golden-parity suite) — but digesting is slow; debug/CI use only.
+
+    ``batched_planning`` swaps the shared policy's scheduler for the
+    :class:`~repro.core.batched_planner.BatchedThiefScheduler` and makes the
+    event loop solve whole same-instant boundary cohorts in one stacked
+    numpy call (profiling still runs site by site, in boundary order).
+    Results are bit-identical to the scalar path — same decisions,
+    accuracies and counters — the property suite
+    (``tests/property/test_property_batched_planner.py``) enforces it; the
+    win is planning wall-clock on wide fleets and many-stream sites.
     """
     if num_sites < 1:
         raise FleetError("num_sites must be >= 1")
@@ -258,7 +268,12 @@ def make_fleet(
             dynamics, accuracy_error_std=profiler_error_std, seed=seed + 1
         )
     policy = EkyaPolicy(
-        profile_source, make_config_space(), steal_quantum=delta, name="Ekya", clock=clock
+        profile_source,
+        make_config_space(),
+        steal_quantum=delta,
+        name="Ekya",
+        clock=clock,
+        batched_planning=batched_planning,
     )
     sites = []
     for index in range(num_sites):
@@ -302,6 +317,7 @@ def make_fleet(
         telemetry=telemetry,
         control_policy=control_policy,
         sanitize=sanitize,
+        batched_planning=batched_planning,
         seed=seed,
     )
     total_streams = num_sites * streams_per_site

@@ -31,6 +31,7 @@ from ..core.policy import WindowPolicy
 from ..datasets.stream import VideoStream
 from ..exceptions import FleetError
 from ..profiles.dynamics import StreamDynamics
+from ..core.types import ScheduleRequest, WindowSchedule
 from ..simulation.simulator import Simulator, StreamWindowOutcome, WindowPlan, WindowResult
 
 
@@ -133,6 +134,11 @@ class EdgeSite:
         return self._server
 
     @property
+    def policy(self) -> WindowPolicy:
+        """The window policy planning this site's windows."""
+        return self._simulator.policy
+
+    @property
     def streams(self) -> List[VideoStream]:
         return self._server.streams
 
@@ -175,6 +181,19 @@ class EdgeSite:
         return self._server.detach_stream(stream_name)
 
     # ------------------------------------------------------------- execution
+    def prepare_window_request(self, window_index: int) -> Optional[ScheduleRequest]:
+        """Build (and profile) one window's scheduling request, unsolved.
+
+        The same idle/failure guards as :meth:`run_window` apply — a site
+        that would skip the window returns ``None`` here too, so the fleet's
+        batched cohort planning and the scalar per-site path skip exactly
+        the same sites.  The solved cohort schedule comes back through the
+        ``preplanned`` parameter of :meth:`run_window` / :meth:`plan_window`.
+        """
+        if not self.healthy or self._server.num_streams == 0 or self.effective_gpus < 1:
+            return None
+        return self._simulator.prepare_request(window_index)
+
     def run_window(
         self,
         window_index: int,
@@ -182,6 +201,7 @@ class EdgeSite:
         retraining_delays: Optional[Mapping[str, float]] = None,
         window_start_seconds: Optional[float] = None,
         retraining_ready_at: Optional[Mapping[str, float]] = None,
+        preplanned: Optional[WindowSchedule] = None,
     ) -> Optional[WindowResult]:
         """Plan and execute one retraining window; ``None`` if idle or failed.
 
@@ -191,6 +211,8 @@ class EdgeSite:
         expresses the same constraint as absolute simulated times (requires
         ``window_start_seconds``); see
         :meth:`repro.simulation.simulator.Simulator.run_window`.
+        ``preplanned`` replaces the policy solve with a cohort-batched
+        schedule (see :meth:`prepare_window_request`).
         """
         if not self.healthy or self._server.num_streams == 0 or self.effective_gpus < 1:
             return None
@@ -199,6 +221,7 @@ class EdgeSite:
             retraining_delays=retraining_delays,
             window_start_seconds=window_start_seconds,
             retraining_ready_at=retraining_ready_at,
+            preplanned=preplanned,
         )
 
     def plan_window(
@@ -208,6 +231,7 @@ class EdgeSite:
         retraining_delays: Optional[Mapping[str, float]] = None,
         window_start_seconds: Optional[float] = None,
         retraining_ready_at: Optional[Mapping[str, float]] = None,
+        preplanned: Optional[WindowSchedule] = None,
     ) -> Optional[WindowPlan]:
         """Plan one window without settling it; ``None`` if idle or failed.
 
@@ -224,6 +248,7 @@ class EdgeSite:
             retraining_delays=retraining_delays,
             window_start_seconds=window_start_seconds,
             retraining_ready_at=retraining_ready_at,
+            preplanned=preplanned,
         )
 
     def settle_stream(
